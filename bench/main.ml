@@ -1,0 +1,166 @@
+(* Benchmark harness: one bechamel timing group per experiment surface
+   (offline solvers, reconstruction, online algorithm, policies,
+   simulator), followed by the full regeneration of every experiment
+   table (E1-E15 of DESIGN.md).
+
+     dune exec bench/main.exe            # full run
+     dune exec bench/main.exe -- quick   # reduced sweeps
+*)
+
+open Bechamel
+open Toolkit
+open Dcache_core
+
+let random_instance seed ~m ~n =
+  let rng = Dcache_prelude.Rng.create seed in
+  let clock = ref 0.0 in
+  let requests =
+    Array.init n (fun _ ->
+        clock := !clock +. Dcache_prelude.Rng.float_in rng 0.05 1.0;
+        Request.make ~server:(Dcache_prelude.Rng.int rng m) ~time:!clock)
+  in
+  Sequence.create_exn ~m requests
+
+let model = Cost_model.make ~mu:1.0 ~lambda:2.0 ()
+
+(* -------------------------------------------------------- timing groups *)
+
+let offline_tests =
+  let seq_1k_m8 = random_instance 1 ~m:8 ~n:1000 in
+  let seq_4k_m8 = random_instance 2 ~m:8 ~n:4000 in
+  let seq_1k_m64 = random_instance 3 ~m:64 ~n:1000 in
+  Test.make_grouped ~name:"offline"
+    [
+      Test.make ~name:"fast-dp n=1000 m=8"
+        (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_1k_m8))));
+      Test.make ~name:"fast-dp n=4000 m=8"
+        (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_4k_m8))));
+      Test.make ~name:"fast-dp n=1000 m=64"
+        (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_1k_m64))));
+      Test.make ~name:"full-scan n=1000 m=8"
+        (Staged.stage (fun () -> ignore (Dcache_baselines.Naive_dp.solve model seq_1k_m8)));
+      Test.make ~name:"subset-dp n=1000 m=8"
+        (Staged.stage (fun () -> ignore (Dcache_baselines.Subset_dp.solve model seq_1k_m8)));
+      Test.make ~name:"reconstruct n=1000 m=8"
+        (let r = Offline_dp.solve model seq_1k_m8 in
+         Staged.stage (fun () -> ignore (Offline_dp.schedule r)));
+    ]
+
+let online_tests =
+  let seq = random_instance 4 ~m:8 ~n:1000 in
+  let seq_dense = random_instance 5 ~m:8 ~n:10000 in
+  Test.make_grouped ~name:"online"
+    [
+      Test.make ~name:"sc n=1000 m=8"
+        (Staged.stage (fun () -> ignore (Online_sc.run model seq).Online_sc.total_cost));
+      Test.make ~name:"sc n=10000 m=8"
+        (Staged.stage (fun () -> ignore (Online_sc.run model seq_dense).Online_sc.total_cost));
+      Test.make ~name:"sc+epochs n=1000"
+        (Staged.stage (fun () ->
+             ignore (Online_sc.run ~epoch_size:50 model seq).Online_sc.total_cost));
+      Test.make ~name:"double-transfer n=1000"
+        (let run = Online_sc.run model seq in
+         Staged.stage (fun () -> ignore (Double_transfer.of_run model run)));
+    ]
+
+let policy_tests =
+  let seq = random_instance 6 ~m:8 ~n:1000 in
+  Test.make_grouped ~name:"policies"
+    [
+      Test.make ~name:"static-home"
+        (Staged.stage (fun () -> ignore (Dcache_baselines.Online_policies.static_home model seq)));
+      Test.make ~name:"follow"
+        (Staged.stage (fun () -> ignore (Dcache_baselines.Online_policies.follow model seq)));
+      Test.make ~name:"cache-everywhere"
+        (Staged.stage (fun () ->
+             ignore (Dcache_baselines.Online_policies.cache_everywhere model seq)));
+      Test.make ~name:"classic-lru k=3"
+        (Staged.stage (fun () ->
+             ignore (Dcache_baselines.Online_policies.classic_lru ~capacity:3 model seq)));
+      Test.make ~name:"single-copy spacetime"
+        (Staged.stage (fun () ->
+             ignore (Dcache_spacetime.Graph.single_copy_optimum model seq)));
+    ]
+
+let simulator_tests =
+  let seq = random_instance 7 ~m:8 ~n:1000 in
+  let sched = Offline_dp.schedule (Offline_dp.solve model seq) in
+  Test.make_grouped ~name:"simulator"
+    [
+      Test.make ~name:"engine sc-policy n=1000"
+        (Staged.stage (fun () ->
+             ignore (Dcache_sim.Engine.run (module Dcache_sim.Sc_policy) model seq)));
+      Test.make ~name:"engine replay n=1000"
+        (Staged.stage (fun () ->
+             ignore (Dcache_sim.Engine.run (Dcache_sim.Replay.make sched) model seq)));
+    ]
+
+let extension_tests =
+  let seq = random_instance 8 ~m:6 ~n:1000 in
+  let seq_small = random_instance 9 ~m:5 ~n:100 in
+  let hetero_costs =
+    Dcache_baselines.Hetero_dp.make_costs_exn
+      ~mu:(Array.init 5 (fun s -> 1.0 +. (0.3 *. float_of_int s)))
+      ~lambda:(Array.init 5 (fun i -> Array.init 5 (fun j -> if i = j then 0.0 else 2.0 +. (0.1 *. float_of_int (i + j)))))
+  in
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"streaming push x1000 m=6"
+        (Staged.stage (fun () ->
+             let stream = Streaming_dp.create model ~m:6 in
+             for i = 1 to Sequence.n seq do
+               Streaming_dp.push stream ~server:(Sequence.server seq i)
+                 ~time:(Sequence.time seq i)
+             done;
+             ignore (Streaming_dp.cost stream)));
+      Test.make ~name:"predictive oracle n=1000"
+        (Staged.stage (fun () ->
+             ignore (Online_predictive.run (Online_predictive.oracle seq) model seq)));
+      Test.make ~name:"hetero exact n=100 m=5"
+        (Staged.stage (fun () -> ignore (Dcache_baselines.Hetero_dp.solve hetero_costs seq_small)));
+      Test.make ~name:"epoch analysis n=1000"
+        (Staged.stage (fun () -> ignore (Epoch_analysis.analyse ~epoch_size:25 model seq)));
+    ]
+
+let workload_tests =
+  Test.make_grouped ~name:"workload"
+    [
+      Test.make ~name:"generate mobility n=1000"
+        (Staged.stage (fun () ->
+             ignore
+               (Dcache_workload.Generator.generate_seeded ~seed:1
+                  {
+                    Dcache_workload.Generator.m = 8;
+                    n = 1000;
+                    arrival = Dcache_workload.Arrival.Poisson { rate = 1.0 };
+                    placement = Dcache_workload.Placement.Mobility { stay = 0.8; ring = true };
+                  })));
+    ]
+
+(* ------------------------------------------------------------- reporting *)
+
+let run_group test =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ nanoseconds ] ->
+          Printf.printf "  %-40s %14.1f ns/run  (%10.4f ms)\n" name nanoseconds
+            (nanoseconds /. 1e6)
+      | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
+    rows
+
+let () =
+  let quick = Array.exists (String.equal "quick") Sys.argv in
+  print_endline "== bechamel timing benchmarks (monotonic clock, OLS per-run estimates) ==";
+  List.iter run_group
+    [ offline_tests; online_tests; policy_tests; simulator_tests; extension_tests; workload_tests ];
+  print_newline ();
+  print_endline "== experiment tables (E1-E15; see DESIGN.md and EXPERIMENTS.md) ==";
+  Dcache_experiments.Experiments.run_all ~quick ()

@@ -1,0 +1,371 @@
+(* dcache — command-line front end to the data-caching library.
+
+   Subcommands: generate (synthesise a trace), solve (offline optimum),
+   online (speculative caching), compare (all policies), experiments
+   (regenerate every table of EXPERIMENTS.md). *)
+
+open Cmdliner
+open Dcache_core
+
+(* ---------------------------------------------------------------- common *)
+
+let mu_arg =
+  Arg.(value & opt float 1.0 & info [ "mu" ] ~docv:"MU" ~doc:"Caching cost per copy per time unit.")
+
+let lambda_arg =
+  Arg.(value & opt float 1.0 & info [ "lambda" ] ~docv:"LAMBDA" ~doc:"Transfer cost between servers.")
+
+let m_arg = Arg.(value & opt int 4 & info [ "m" ] ~docv:"M" ~doc:"Number of servers.")
+let n_arg = Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Number of requests.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let trace_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"CSV trace file (server,time per line).")
+
+let model_of mu lambda =
+  try Ok (Cost_model.make ~mu ~lambda ()) with Invalid_argument msg -> Error msg
+
+let load_trace filename m =
+  match Dcache_workload.Trace_io.read ~filename ~m with
+  | Ok seq -> Ok seq
+  | Error msg -> Error (Printf.sprintf "%s: %s" filename msg)
+  | exception Sys_error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("dcache: " ^ msg);
+      exit 1
+
+(* -------------------------------------------------------------- generate *)
+
+let arrival_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "poisson"; rate ] -> (
+        match float_of_string_opt rate with
+        | Some rate when rate > 0. -> Ok (Dcache_workload.Arrival.Poisson { rate })
+        | _ -> Error (`Msg "poisson:RATE needs a positive float"))
+    | [ "uniform"; gap ] -> (
+        match float_of_string_opt gap with
+        | Some gap when gap > 0. -> Ok (Dcache_workload.Arrival.Uniform { gap })
+        | _ -> Error (`Msg "uniform:GAP needs a positive float"))
+    | [ "pareto"; rest ] -> (
+        match String.split_on_char ',' rest with
+        | [ shape; scale ] -> (
+            match (float_of_string_opt shape, float_of_string_opt scale) with
+            | Some shape, Some scale when shape > 0. && scale > 0. ->
+                Ok (Dcache_workload.Arrival.Pareto { shape; scale })
+            | _ -> Error (`Msg "pareto:SHAPE,SCALE needs positive floats"))
+        | _ -> Error (`Msg "pareto:SHAPE,SCALE"))
+    | [ "periodic"; rest ] -> (
+        match List.map float_of_string_opt (String.split_on_char ',' rest) with
+        | [ Some base_rate; Some peak_rate; Some period ]
+          when base_rate > 0. && peak_rate >= base_rate && period > 0. ->
+            Ok (Dcache_workload.Arrival.Periodic { base_rate; peak_rate; period })
+        | _ -> Error (`Msg "periodic:BASE,PEAK,PERIOD needs 0 < base <= peak and period > 0"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown arrival %S" s))
+  in
+  Arg.conv (parse, Dcache_workload.Arrival.pp)
+
+let placement_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "uniform" ] -> Ok Dcache_workload.Placement.Uniform_random
+    | [ "roundrobin" ] -> Ok Dcache_workload.Placement.Round_robin
+    | [ "zipf"; e ] -> (
+        match float_of_string_opt e with
+        | Some exponent when exponent >= 0. -> Ok (Dcache_workload.Placement.Zipf { exponent })
+        | _ -> Error (`Msg "zipf:EXPONENT needs a non-negative float"))
+    | [ "mobility"; rest ] -> (
+        let stay_s, ring =
+          match String.split_on_char ',' rest with
+          | [ stay; "ring" ] -> (stay, true)
+          | [ stay ] -> (stay, false)
+          | _ -> ("", false)
+        in
+        match float_of_string_opt stay_s with
+        | Some stay when stay >= 0. && stay <= 1. ->
+            Ok (Dcache_workload.Placement.Mobility { stay; ring })
+        | _ -> Error (`Msg "mobility:STAY[,ring] needs a probability"))
+    | [ "multiuser"; rest ] -> (
+        let parts = String.split_on_char ',' rest in
+        let parts, ring =
+          match List.rev parts with
+          | "ring" :: others -> (List.rev others, true)
+          | _ -> (parts, false)
+        in
+        match parts with
+        | [ users_s; stay_s ] -> (
+            match (int_of_string_opt users_s, float_of_string_opt stay_s) with
+            | Some users, Some stay when users >= 1 && stay >= 0. && stay <= 1. ->
+                Ok (Dcache_workload.Placement.Multi_user { users; stay; ring })
+            | _ -> Error (`Msg "multiuser:K,STAY[,ring]"))
+        | _ -> Error (`Msg "multiuser:K,STAY[,ring]"))
+    | _ -> Error (`Msg (Printf.sprintf "unknown placement %S" s))
+  in
+  Arg.conv (parse, Dcache_workload.Placement.pp)
+
+let generate_cmd =
+  let arrival =
+    Arg.(
+      value
+      & opt arrival_conv (Dcache_workload.Arrival.Poisson { rate = 1.0 })
+      & info [ "arrival" ] ~docv:"SPEC"
+          ~doc:"Arrival process: poisson:RATE, uniform:GAP, pareto:SHAPE,SCALE or periodic:BASE,PEAK,PERIOD.")
+  in
+  let placement =
+    Arg.(
+      value
+      & opt placement_conv Dcache_workload.Placement.Uniform_random
+      & info [ "placement" ] ~docv:"SPEC"
+          ~doc:"Placement: uniform, zipf:EXP, mobility:STAY[,ring], multiuser:K,STAY[,ring] or roundrobin.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run m n seed arrival placement out =
+    let seq =
+      Dcache_workload.Generator.generate_seeded ~seed
+        { Dcache_workload.Generator.m; n; arrival; placement }
+    in
+    match out with
+    | None -> print_string (Dcache_workload.Trace_io.to_string seq)
+    | Some filename -> Dcache_workload.Trace_io.write ~filename seq
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesise a request trace")
+    Term.(const run $ m_arg $ n_arg $ seed_arg $ arrival $ placement $ out)
+
+(* ----------------------------------------------------------------- solve *)
+
+let solve_cmd =
+  let render =
+    Arg.(value & flag & info [ "render" ] ~doc:"Draw the optimal schedule as a space-time diagram.")
+  in
+  let show_schedule =
+    Arg.(value & flag & info [ "schedule" ] ~doc:"List the cache intervals and transfers.")
+  in
+  let run trace m mu lambda render show_schedule =
+    let model = or_die (model_of mu lambda) in
+    let seq = or_die (load_trace trace m) in
+    let result = Offline_dp.solve model seq in
+    let schedule = Offline_dp.schedule result in
+    Printf.printf "servers: %d, requests: %d, horizon: %g\n" (Sequence.m seq) (Sequence.n seq)
+      (Sequence.horizon seq);
+    Printf.printf "optimal cost: %.6f (caching %.6f + transfers %.6f in %d transfers)\n"
+      (Offline_dp.cost result)
+      (Schedule.caching_cost model schedule)
+      (Schedule.transfer_cost model schedule)
+      (Schedule.num_transfers schedule);
+    Printf.printf "running lower bound B_n: %.6f\n" (Bounds.lower_bound model seq);
+    if show_schedule then Format.printf "%a@." Schedule.pp schedule;
+    if render then print_string (Schedule.render seq schedule)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute the optimal offline schedule for a trace")
+    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ render $ show_schedule)
+
+(* ---------------------------------------------------------------- online *)
+
+let online_cmd =
+  let window =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "window" ] ~docv:"W" ~doc:"Override the speculative window (default lambda/mu).")
+  in
+  let epoch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "epoch-size" ] ~docv:"K" ~doc:"Transfers per epoch (default: one unbounded epoch).")
+  in
+  let events = Arg.(value & flag & info [ "events" ] ~doc:"Print the per-event log.") in
+  let run trace m mu lambda window epoch events =
+    let model = or_die (model_of mu lambda) in
+    let seq = or_die (load_trace trace m) in
+    let sc = Online_sc.run ?window ?epoch_size:epoch ~record_events:events model seq in
+    if events then
+      List.iter
+        (fun event ->
+          match event with
+          | Online_sc.Served { index; server; time; kind } ->
+              Printf.printf "%10.4f  r%-5d s%-3d %s\n" time index server
+                (match kind with
+                | Online_sc.By_cache -> "cache"
+                | Online_sc.By_transfer src -> Printf.sprintf "transfer from s%d" src)
+          | Online_sc.Expired { server; time } -> Printf.printf "%10.4f  expire s%d\n" time server
+          | Online_sc.Extended { server; time; new_expiry } ->
+              Printf.printf "%10.4f  extend s%d -> %.4f\n" time server new_expiry
+          | Online_sc.Epoch_reset { time; kept } ->
+              Printf.printf "%10.4f  epoch reset, kept s%d\n" time kept)
+        sc.events;
+    Printf.printf "SC cost: %.6f (caching %.6f + %d transfers)\n" sc.total_cost sc.caching_cost
+      sc.num_transfers;
+    let opt = Offline_dp.cost (Offline_dp.solve model seq) in
+    Printf.printf "offline optimum: %.6f, ratio %.4f (bound %.1f)\n" opt (sc.total_cost /. opt)
+      Online_sc.competitive_bound
+  in
+  Cmd.v
+    (Cmd.info "online" ~doc:"Run the online speculative-caching algorithm on a trace")
+    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ window $ epoch $ events)
+
+(* --------------------------------------------------------------- compare *)
+
+let compare_cmd =
+  let run trace m mu lambda =
+    let model = or_die (model_of mu lambda) in
+    let seq = or_die (load_trace trace m) in
+    let opt = Offline_dp.cost (Offline_dp.solve model seq) in
+    let outcomes = Dcache_baselines.Online_policies.all_deterministic model seq in
+    let table =
+      Dcache_prelude.Table.create
+        [
+          Dcache_prelude.Table.column ~align:Dcache_prelude.Table.Left "policy";
+          Dcache_prelude.Table.column "cost";
+          Dcache_prelude.Table.column "cost / OPT";
+        ]
+    in
+    List.iter
+      (fun (o : Dcache_baselines.Online_policies.outcome) ->
+        Dcache_prelude.Table.add_row table
+          [
+            o.name;
+            Dcache_prelude.Table.fmt_float ~prec:4 o.cost;
+            Dcache_prelude.Table.fmt_float ~prec:4 (o.cost /. opt);
+          ])
+      outcomes;
+    Dcache_prelude.Table.add_row table
+      [ "offline optimum"; Dcache_prelude.Table.fmt_float ~prec:4 opt; "1.0000" ];
+    Dcache_prelude.Table.print table
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare every online policy against the offline optimum")
+    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg)
+
+(* --------------------------------------------------------------- analyze *)
+
+let analyze_cmd =
+  let run trace m mu lambda =
+    let model = or_die (model_of mu lambda) in
+    let seq = or_die (load_trace trace m) in
+    if Sequence.n seq = 0 then prerr_endline "dcache: empty trace"
+    else begin
+      let stats = Dcache_workload.Trace_stats.analyze seq in
+      Format.printf "%a@." (Dcache_workload.Trace_stats.pp_with_model model) stats;
+      Format.printf "@,per-server request counts:@.";
+      Array.iter
+        (fun (server, count) -> Printf.printf "  s%-4d %d
+" server count)
+        stats.Dcache_workload.Trace_stats.popularity
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Describe a trace: arrivals, locality, revisits, cacheability")
+    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg)
+
+(* ---------------------------------------------------------------- render *)
+
+let render_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output SVG file.")
+  in
+  let with_online =
+    Arg.(value & flag & info [ "online" ] ~doc:"Add a speculative-caching panel below the optimum.")
+  in
+  let run trace m mu lambda out with_online =
+    let model = or_die (model_of mu lambda) in
+    let seq = or_die (load_trace trace m) in
+    let opt_result = Offline_dp.solve model seq in
+    let opt_sched = Offline_dp.schedule opt_result in
+    let panels =
+      (Printf.sprintf "offline optimum (cost %.3f)" (Offline_dp.cost opt_result), opt_sched)
+      ::
+      (if with_online then begin
+         let sc = Online_sc.run model seq in
+         [
+           ( Printf.sprintf "speculative caching (cost %.3f, ratio %.2f)" sc.total_cost
+               (sc.total_cost /. Offline_dp.cost opt_result),
+             Online_sc.schedule_of_run seq sc );
+         ]
+       end
+       else [])
+    in
+    let svg =
+      Dcache_viz.Svg.comparison_svg
+        ~options:
+          {
+            Dcache_viz.Svg.default_options with
+            title = Some (Printf.sprintf "%s  (m=%d, n=%d)" (Filename.basename trace) m (Sequence.n seq));
+          }
+        seq panels
+    in
+    Dcache_viz.Svg.write ~filename:out svg;
+    Printf.printf "wrote %s\n" out
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Draw schedules as an SVG space-time diagram")
+    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ out $ with_online)
+
+(* ---------------------------------------------------------------- stream *)
+
+let stream_cmd =
+  let every =
+    Arg.(value & opt int 10 & info [ "every" ] ~docv:"K" ~doc:"Report every K requests.")
+  in
+  let run trace m mu lambda every =
+    let model = or_die (model_of mu lambda) in
+    let seq = or_die (load_trace trace m) in
+    let stream = Streaming_dp.create model ~m:(Sequence.m seq) in
+    Printf.printf "%8s %10s %14s %14s
+" "i" "t_i" "optimum C(i)" "bound B_i";
+    for i = 1 to Sequence.n seq do
+      Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i);
+      if i mod every = 0 || i = Sequence.n seq then
+        Printf.printf "%8d %10.4f %14.4f %14.4f
+" i (Sequence.time seq i)
+          (Streaming_dp.cost stream)
+          (Streaming_dp.running_at stream i)
+    done
+  in
+  Cmd.v
+    (Cmd.info "stream" ~doc:"Feed a trace through the incremental solver, printing prefix optima")
+    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ every)
+
+(* ----------------------------------------------------------- experiments *)
+
+let experiments_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps (for CI).") in
+  let run quick = Dcache_experiments.Experiments.run_all ~quick () in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate every table and figure of EXPERIMENTS.md")
+    Term.(const run $ quick)
+
+let () =
+  let info =
+    Cmd.info "dcache" ~version:"1.0.0"
+      ~doc:"Cost-driven data caching in mobile cloud services (ICPP 2017 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            solve_cmd;
+            online_cmd;
+            compare_cmd;
+            analyze_cmd;
+            render_cmd;
+            stream_cmd;
+            experiments_cmd;
+          ]))

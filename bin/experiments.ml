@@ -1,0 +1,5 @@
+(* Standalone regeneration of every experiment table (E1-E10).
+   Pass "quick" for the reduced sweeps used in CI. *)
+let () =
+  let quick = Array.exists (String.equal "quick") Sys.argv in
+  Dcache_experiments.Experiments.run_all ~quick ()

@@ -1,0 +1,59 @@
+(* Planning a whole catalogue of shared items under a storage budget.
+
+   Each item is solved exactly by the O(mn) dynamic program; a
+   provider-wide cap on caching spend couples them, and the Lagrangian
+   planner finds the cheapest plan meeting it — with a dual bound that
+   certifies how much better any plan could possibly be.
+
+     dune exec examples/catalogue_budget.exe
+*)
+
+open Dcache_core
+module M = Dcache_multi.Multi_item
+
+let () =
+  let m = 5 in
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.5 () in
+  let trace seed placement =
+    Sequence.requests
+      (Dcache_workload.Generator.generate_seeded ~seed
+         {
+           Dcache_workload.Generator.m;
+           n = 150;
+           arrival = Dcache_workload.Arrival.Poisson { rate = 1.0 };
+           placement;
+         })
+  in
+  let items =
+    [
+      { M.label = "trending-video"; size = 4.0; requests = trace 1 (Dcache_workload.Placement.Zipf { exponent = 1.3 }) };
+      { M.label = "shared-album"; size = 1.0; requests = trace 2 (Dcache_workload.Placement.Mobility { stay = 0.85; ring = true }) };
+      { M.label = "team-document"; size = 0.2; requests = trace 3 Dcache_workload.Placement.Uniform_random };
+    ]
+  in
+  let free = M.plan model ~m items in
+  Printf.printf "unconstrained catalogue optimum: %.1f total (%.1f caching + %.1f transfers)\n"
+    free.total_cost free.total_caching free.total_transfer;
+  List.iter
+    (fun (p : M.planned) ->
+      Printf.printf "  %-15s cost %8.1f (caching %8.1f, transfers %6.1f)\n" p.p_label p.p_cost
+        p.p_caching p.p_transfer)
+    free.items;
+  let floor_spend = M.minimum_caching model ~m items in
+  Printf.printf "\ncoverage floor (one copy per item, always): %.1f\n" floor_spend;
+
+  Printf.printf "\nshrinking the storage budget:\n";
+  List.iter
+    (fun frac ->
+      let budget = floor_spend +. (frac *. (free.total_caching -. floor_spend)) in
+      match M.plan_with_caching_budget model ~m ~budget items with
+      | Ok b ->
+          Printf.printf
+            "  budget %8.1f -> cost %8.1f (caching %8.1f, theta %.3f, dual gap %.2f%%)\n" budget
+            b.feasible.total_cost b.feasible.total_caching b.multiplier
+            (100. *. (b.feasible.total_cost -. b.dual_bound) /. b.dual_bound)
+      | Error msg -> Printf.printf "  budget %8.1f -> %s\n" budget msg)
+    [ 0.8; 0.5; 0.2; 0.0 ];
+  match M.plan_with_caching_budget model ~m ~budget:(floor_spend *. 0.9) items with
+  | Error msg -> Printf.printf "\nand below the floor, the planner refuses: %s\n" msg
+  | Ok _ -> assert false

@@ -1,0 +1,64 @@
+(* Where does caching stop paying and transferring start?
+
+   The model has a single dial that matters: lambda/mu, the break-even
+   interval (the online algorithm's speculative window).  This example
+   sweeps it over a fixed workload and reports how the optimal
+   schedule's composition — copies kept, transfers made — shifts, and
+   how the online algorithm tracks it.
+
+     dune exec examples/cost_tradeoff.exe
+*)
+
+open Dcache_core
+
+let () =
+  let m = 6 and n = 500 in
+  let seq =
+    Dcache_workload.Generator.generate_seeded ~seed:11
+      {
+        Dcache_workload.Generator.m;
+        n;
+        arrival = Dcache_workload.Arrival.Poisson { rate = 1.0 };
+        placement = Dcache_workload.Placement.Zipf { exponent = 1.0 };
+      }
+  in
+  Printf.printf "fixed workload: m = %d, n = %d, horizon %.1f (zipf placement, poisson arrivals)\n\n"
+    m n (Sequence.horizon seq);
+  let table =
+    Dcache_prelude.Table.create
+      [
+        Dcache_prelude.Table.column "lambda/mu";
+        Dcache_prelude.Table.column "OPT";
+        Dcache_prelude.Table.column "caching share";
+        Dcache_prelude.Table.column "transfers";
+        Dcache_prelude.Table.column "peak copies";
+        Dcache_prelude.Table.column "SC/OPT";
+      ]
+  in
+  List.iter
+    (fun ratio ->
+      let model = Cost_model.make ~mu:1.0 ~lambda:ratio () in
+      let result = Offline_dp.solve model seq in
+      let schedule = Offline_dp.schedule result in
+      (* measure the peak number of simultaneous copies by replaying
+         the optimal schedule through the event-driven engine *)
+      let replay = Dcache_sim.Engine.run (Dcache_sim.Replay.make schedule) model seq in
+      let sc = Online_sc.run model seq in
+      Dcache_prelude.Table.add_row table
+        [
+          Dcache_prelude.Table.fmt_float ~prec:2 ratio;
+          Dcache_prelude.Table.fmt_float ~prec:0 (Offline_dp.cost result);
+          Printf.sprintf "%.0f%%"
+            (100. *. Schedule.caching_cost model schedule /. Offline_dp.cost result);
+          string_of_int (Schedule.num_transfers schedule);
+          string_of_int replay.metrics.peak_copies;
+          Dcache_prelude.Table.fmt_float ~prec:3 (sc.total_cost /. Offline_dp.cost result);
+        ])
+    [ 0.05; 0.2; 0.5; 1.0; 2.0; 5.0; 20.0; 100.0 ];
+  Dcache_prelude.Table.print table;
+  print_string
+    "\nReading: cheap transfers (small lambda/mu) -> the optimum keeps almost no copies\n\
+     and transfers on demand; expensive transfers -> it replicates widely and caches.\n\
+     The crossover sits where the break-even interval lambda/mu passes the typical\n\
+     revisit interval of the workload.  SC tracks the optimum across the whole sweep\n\
+     without knowing any of this in advance.\n"

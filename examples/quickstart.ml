@@ -1,0 +1,43 @@
+(* Quickstart: pose a tiny instance, solve it offline, run the online
+   algorithm, and compare.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Dcache_core
+
+let () =
+  (* Three fully connected servers; the data item starts on server 0.
+     Caching costs 1 per copy per time unit, a transfer costs 2. *)
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+
+  (* Six requests: (server, time), strictly increasing times. *)
+  let seq =
+    Sequence.of_list ~m:3
+      [ (1, 0.5); (1, 1.0); (2, 1.2); (0, 2.5); (2, 2.8); (1, 4.0) ]
+  in
+
+  (* --- offline: the O(mn) dynamic program ------------------------- *)
+  let result = Offline_dp.solve model seq in
+  let schedule = Offline_dp.schedule result in
+  Printf.printf "offline optimum: %.2f\n" (Offline_dp.cost result);
+  Printf.printf "  caching  %.2f\n" (Schedule.caching_cost model schedule);
+  Printf.printf "  transfer %.2f (%d transfers)\n\n"
+    (Schedule.transfer_cost model schedule)
+    (Schedule.num_transfers schedule);
+  print_string (Schedule.render seq schedule);
+
+  (* The schedule is a first-class value: validate it against the
+     instance's feasibility constraints. *)
+  (match Schedule.validate seq schedule with
+  | Ok () -> print_endline "\nschedule validated: every request served, coverage unbroken"
+  | Error problems -> List.iter print_endline problems);
+
+  (* --- online: speculative caching -------------------------------- *)
+  let sc = Online_sc.run model seq in
+  Printf.printf "\nonline SC cost: %.2f (ratio %.2f, proven bound %.0f)\n" sc.total_cost
+    (sc.total_cost /. Offline_dp.cost result)
+    Online_sc.competitive_bound;
+
+  (* The paper's lower bound B_n holds for any algorithm. *)
+  Printf.printf "running lower bound B_n: %.2f\n" (Bounds.lower_bound model seq)

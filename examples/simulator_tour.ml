@@ -1,0 +1,69 @@
+(* Tour of the discrete-event simulator substrate.
+
+   The same physical model backs three independent implementations in
+   this repository: the recurrence mathematics (Offline_dp), schedule
+   pricing (Schedule.cost), and the event-driven engine.  This example
+   shows them agreeing on one workload, runs the timer-driven SC
+   policy, and finishes with the heterogeneous-cost mode that the
+   analytic algorithms do not support.
+
+     dune exec examples/simulator_tour.exe
+*)
+
+open Dcache_core
+module Sim = Dcache_sim
+
+let () =
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.5 () in
+  let seq =
+    Dcache_workload.Generator.generate_seeded ~seed:314
+      {
+        Dcache_workload.Generator.m = 5;
+        n = 300;
+        arrival = Dcache_workload.Arrival.Pareto { shape = 1.6; scale = 0.3 };
+        placement = Dcache_workload.Placement.Mobility { stay = 0.75; ring = false };
+      }
+  in
+
+  (* 1. replay the optimal schedule through the engine *)
+  let dp = Offline_dp.solve model seq in
+  let schedule = Offline_dp.schedule dp in
+  let replay = Sim.Engine.run (Sim.Replay.make schedule) model seq in
+  Printf.printf "offline optimum, three independent accountants:\n";
+  Printf.printf "  recurrence C(n)        = %.4f\n" (Offline_dp.cost dp);
+  Printf.printf "  Schedule.cost          = %.4f\n" (Schedule.cost model schedule);
+  Printf.printf "  event-driven engine    = %.4f\n\n" replay.metrics.total_cost;
+
+  (* 2. the SC policy, driven purely by engine timers *)
+  let engine_sc = Sim.Engine.run (module Sim.Sc_policy) model seq in
+  let analytic_sc = Online_sc.run model seq in
+  Printf.printf "speculative caching, two independent implementations:\n";
+  Printf.printf "  analytic simulation    = %.4f\n" analytic_sc.total_cost;
+  Printf.printf "  timer-driven policy    = %.4f\n\n" engine_sc.metrics.total_cost;
+  Format.printf "engine metrics for SC:@.%a@.@." Sim.Metrics.pp engine_sc.metrics;
+
+  (* 3. heterogeneous costs: a far-away site is expensive to reach,
+     fast storage on site 0 costs double.  The analytic DP assumes
+     homogeneity, so here only the engine gives the truth; the subset
+     DP could be extended, but the point is the simulator's role. *)
+  let costs =
+    {
+      Sim.Engine.mu_of = (fun s -> if s = 0 then 2.0 else 1.0);
+      lambda_of =
+        (fun ~src ~dst ->
+          let far s = s = 4 in
+          if far src || far dst then 10.0 else 2.5);
+      upload_of = (fun _ -> infinity);
+    }
+  in
+  let hetero_sc = Sim.Engine.run ~costs (module Sim.Sc_policy) model seq in
+  let hetero_follow = Sim.Engine.run ~costs (module Sim.Simple_policies.Follow) model seq in
+  let hetero_home = Sim.Engine.run ~costs (module Sim.Simple_policies.Static_home) model seq in
+  Printf.printf "heterogeneous mode (site 4 is far, site 0 has pricey storage):\n";
+  Printf.printf "  static-home  %.1f\n" hetero_home.metrics.total_cost;
+  Printf.printf "  follow       %.1f\n" hetero_follow.metrics.total_cost;
+  Printf.printf "  SC           %.1f\n" hetero_sc.metrics.total_cost;
+  print_string
+    "\nSC still works (its window uses the homogeneous model as an approximation) but no\n\
+     longer carries its guarantee — the homogeneity assumption is load-bearing in the\n\
+     paper's analysis, which is exactly why the engine exists: to measure beyond it.\n"

@@ -1,0 +1,35 @@
+open Dcache_core
+
+let solve model seq =
+  let n = Sequence.n seq and m = Sequence.m seq in
+  if m > 8 then invalid_arg "Brute_force.solve: m > 8";
+  if n > 12 then invalid_arg "Brute_force.solve: n > 12";
+  let mu = model.Cost_model.mu in
+  let lam_eff = Float.min model.Cost_model.lambda model.Cost_model.upload in
+  let popcount mask =
+    let rec go mask acc = if mask = 0 then acc else go (mask lsr 1) (acc + (mask land 1)) in
+    go mask 0
+  in
+  (* [go i holders] = cheapest way to serve r_{i+1} .. r_n given that
+     [holders] hold copies just after r_i was served. *)
+  let rec go i holders =
+    if i = n then 0.0
+    else begin
+      let next = i + 1 in
+      let dt = Sequence.time seq next -. Sequence.time seq i in
+      let dest_bit = 1 lsl Sequence.server seq next in
+      let best = ref infinity in
+      for kept = 1 to holders do
+        if kept land holders = kept then begin
+          let cost =
+            (mu *. dt *. float_of_int (popcount kept))
+            +. (if kept land dest_bit <> 0 then 0.0 else lam_eff)
+            +. go next (kept lor dest_bit)
+          in
+          if cost < !best then best := cost
+        end
+      done;
+      !best
+    end
+  in
+  go 0 1

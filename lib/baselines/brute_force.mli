@@ -1,0 +1,15 @@
+open Dcache_core
+
+(** Exhaustive search over keep-set decisions, without memoisation.
+
+    The same decision space as {!Subset_dp} explored as a plain tree:
+    at each inter-request interval, try every non-empty subset of the
+    current copy holders.  Exponential in [n] as well as [m] — usable
+    only for tiny instances — but deliberately free of any dynamic
+    programming machinery, giving a third, maximally dumb witness of
+    the optimum for cross-validation. *)
+
+val solve : Cost_model.t -> Sequence.t -> float
+(** Optimal total cost.
+    @raise Invalid_argument when [m > 8] or [n > 12] (search space too
+    large). *)

@@ -1,0 +1,153 @@
+open Dcache_core
+
+type outcome = { name : string; schedule : Schedule.t; cost : float }
+
+let outcome model name schedule = { name; schedule; cost = Schedule.cost model schedule }
+
+let transfer src dst time = { Schedule.src = Schedule.From_server src; dst; time }
+
+let static_home model seq =
+  let horizon = Sequence.horizon seq in
+  let caches =
+    if horizon > 0. then [ { Schedule.server = 0; from_time = 0.; to_time = horizon } ] else []
+  in
+  let transfers = ref [] in
+  for i = 1 to Sequence.n seq do
+    let s = Sequence.server seq i in
+    if s <> 0 then transfers := transfer 0 s (Sequence.time seq i) :: !transfers
+  done;
+  outcome model "static-home" (Schedule.make ~caches ~transfers:!transfers)
+
+let follow model seq =
+  let caches = ref [] and transfers = ref [] in
+  let location = ref 0 and since = ref 0.0 in
+  let add_cache server from_time to_time =
+    if to_time > from_time then
+      caches := { Schedule.server; from_time; to_time } :: !caches
+  in
+  for i = 1 to Sequence.n seq do
+    let s = Sequence.server seq i and ti = Sequence.time seq i in
+    if s <> !location then begin
+      add_cache !location !since ti;
+      transfers := transfer !location s ti :: !transfers;
+      location := s;
+      since := ti
+    end
+  done;
+  add_cache !location !since (Sequence.horizon seq);
+  outcome model "follow" (Schedule.make ~caches:!caches ~transfers:!transfers)
+
+let cache_everywhere model seq =
+  let horizon = Sequence.horizon seq in
+  let m = Sequence.m seq in
+  let touched = Array.make m false in
+  touched.(0) <- true;
+  let caches = ref [] and transfers = ref [] in
+  let add_cache server from_time =
+    if horizon > from_time then
+      caches := { Schedule.server; from_time; to_time = horizon } :: !caches
+  in
+  add_cache 0 0.0;
+  for i = 1 to Sequence.n seq do
+    let s = Sequence.server seq i in
+    if not touched.(s) then begin
+      touched.(s) <- true;
+      let ti = Sequence.time seq i in
+      transfers := transfer 0 s ti :: !transfers;
+      add_cache s ti
+    end
+  done;
+  outcome model "cache-everywhere" (Schedule.make ~caches:!caches ~transfers:!transfers)
+
+let classic_lru ~capacity model seq =
+  if capacity < 1 then invalid_arg "Online_policies.classic_lru: capacity must be positive";
+  let m = Sequence.m seq in
+  let cached_since = Array.make m nan in
+  let last_use = Array.make m nan in
+  cached_since.(0) <- 0.0;
+  last_use.(0) <- 0.0;
+  let members = ref [ 0 ] in
+  let caches = ref [] and transfers = ref [] in
+  let add_cache server from_time to_time =
+    if to_time > from_time then
+      caches := { Schedule.server; from_time; to_time } :: !caches
+  in
+  for i = 1 to Sequence.n seq do
+    let s = Sequence.server seq i and ti = Sequence.time seq i in
+    if List.mem s !members then last_use.(s) <- ti
+    else begin
+      (* miss: bring the copy in from the most recently used member *)
+      let mru =
+        List.fold_left
+          (fun best k -> if last_use.(k) > last_use.(best) then k else best)
+          (List.hd !members) !members
+      in
+      transfers := transfer mru s ti :: !transfers;
+      members := s :: !members;
+      cached_since.(s) <- ti;
+      last_use.(s) <- ti;
+      if List.length !members > capacity then begin
+        let lru =
+          List.fold_left
+            (fun worst k -> if last_use.(k) < last_use.(worst) then k else worst)
+            (List.hd !members) !members
+        in
+        members := List.filter (fun k -> k <> lru) !members;
+        add_cache lru cached_since.(lru) ti
+      end
+    end
+  done;
+  let horizon = Sequence.horizon seq in
+  List.iter (fun k -> add_cache k cached_since.(k) horizon) !members;
+  outcome model
+    (Printf.sprintf "classic-lru(k=%d)" capacity)
+    (Schedule.make ~caches:!caches ~transfers:!transfers)
+
+let sc ?epoch_size model seq =
+  let run = Online_sc.run ?epoch_size model seq in
+  { name = "speculative-caching"; schedule = Online_sc.schedule_of_run seq run; cost = run.total_cost }
+
+let sc_with_window ~window model seq =
+  let run = Online_sc.run ~window model seq in
+  {
+    name = Printf.sprintf "sc(window=%g)" window;
+    schedule = Online_sc.schedule_of_run seq run;
+    cost = run.total_cost;
+  }
+
+let randomized_sc ~rng model seq =
+  (* inverse-CDF draw from f(x) = e^x / (e - 1) on [0, 1] (the density
+     of the e/(e-1)-competitive randomized ski-rental strategy) *)
+  let u = Dcache_prelude.Rng.float rng 1.0 in
+  let x = log (1.0 +. (u *. (Float.exp 1.0 -. 1.0))) in
+  let window = Float.max 1e-12 (x *. Cost_model.delta_t model) in
+  let run = Online_sc.run ~window model seq in
+  {
+    name = "randomized-sc";
+    schedule = Online_sc.schedule_of_run seq run;
+    cost = run.total_cost;
+  }
+
+let randomized_sc_per_copy ~rng model seq =
+  (* a fresh ski-rental draw for every copy refresh, not one per run *)
+  let delta_t = Cost_model.delta_t model in
+  let window_policy ~server:_ ~time:_ =
+    let u = Dcache_prelude.Rng.float rng 1.0 in
+    let x = log (1.0 +. (u *. (Float.exp 1.0 -. 1.0))) in
+    Float.max 1e-12 (x *. delta_t)
+  in
+  let run = Online_sc.run ~window_policy model seq in
+  {
+    name = "randomized-sc-per-copy";
+    schedule = Online_sc.schedule_of_run seq run;
+    cost = run.total_cost;
+  }
+
+let all_deterministic ?(lru_capacity = 2) model seq =
+  [
+    static_home model seq;
+    follow model seq;
+    cache_everywhere model seq;
+    classic_lru ~capacity:lru_capacity model seq;
+    sc model seq;
+  ]

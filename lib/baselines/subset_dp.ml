@@ -1,0 +1,117 @@
+open Dcache_core
+
+let popcount mask =
+  let rec go mask acc = if mask = 0 then acc else go (mask lsr 1) (acc + (mask land 1)) in
+  go mask 0
+
+let check_size seq =
+  if Sequence.m seq > 20 then
+    invalid_arg "Subset_dp.solve: m > 20 makes the 2^m state space infeasible"
+
+(* One sweep of the DP.  [record] receives (step, state, kept, cost)
+   for every improving transition so that [solve_schedule] can rebuild
+   the argmins without a second copy of the loop. *)
+let sweep ?(max_copies = max_int) model seq ~record =
+  check_size seq;
+  if max_copies < 1 then invalid_arg "Subset_dp: max_copies must be at least 1";
+  let n = Sequence.n seq in
+  let mu = model.Cost_model.mu in
+  let lam_eff = Float.min model.Cost_model.lambda model.Cost_model.upload in
+  let states = 1 lsl Sequence.m seq in
+  let dp = Array.make states infinity in
+  dp.(1) <- 0.0 (* after r_0: the single copy sits on server 0 *);
+  let next = Array.make states infinity in
+  for i = 1 to n do
+    Array.fill next 0 states infinity;
+    let dt = Sequence.time seq i -. Sequence.time seq (i - 1) in
+    let dest_bit = 1 lsl Sequence.server seq i in
+    for state = 1 to states - 1 do
+      if dp.(state) < infinity then begin
+        (* enumerate non-empty kept subsets of [state] *)
+        let kept = ref state in
+        let continue = ref true in
+        while !continue do
+          let k = !kept in
+          let copies = popcount k in
+          let state' = k lor dest_bit in
+          (* the cap prices resident copies over intervals; a
+             transfer-served copy that is discarded immediately (the
+             paper's red squares) occupies no capacity *)
+          if copies <= max_copies then begin
+            let cost =
+              dp.(state)
+              +. (mu *. dt *. float_of_int copies)
+              +. (if k land dest_bit <> 0 then 0.0 else lam_eff)
+            in
+            if cost < next.(state') then begin
+              next.(state') <- cost;
+              record ~step:i ~state' ~from_state:state ~kept:k ~cost
+            end
+          end;
+          if k = 0 then continue := false
+          else begin
+            kept := (k - 1) land state;
+            if !kept = 0 then continue := false
+          end
+        done
+      end
+    done;
+    Array.blit next 0 dp 0 states
+  done;
+  dp
+
+let solve ?max_copies model seq =
+  let dp =
+    sweep ?max_copies model seq
+      ~record:(fun ~step:_ ~state':_ ~from_state:_ ~kept:_ ~cost:_ -> ())
+  in
+  if Sequence.n seq = 0 then 0.0 else Array.fold_left Float.min infinity dp
+
+let solve_schedule model seq =
+  let n = Sequence.n seq in
+  if n = 0 then (0.0, Schedule.empty)
+  else begin
+    check_size seq;
+    let states = 1 lsl Sequence.m seq in
+    (* argmin bookkeeping: for each step and resulting state, the
+       predecessor state and the kept mask of the winning transition *)
+    let parent_state = Array.init (n + 1) (fun _ -> Array.make states (-1)) in
+    let parent_kept = Array.init (n + 1) (fun _ -> Array.make states (-1)) in
+    let record ~step ~state' ~from_state ~kept ~cost:_ =
+      parent_state.(step).(state') <- from_state;
+      parent_kept.(step).(state') <- kept
+    in
+    let dp = sweep model seq ~record in
+    let best_state = ref (-1) and best = ref infinity in
+    for state = 1 to states - 1 do
+      if dp.(state) < !best then begin
+        best := dp.(state);
+        best_state := state
+      end
+    done;
+    let caches = ref [] and transfers = ref [] in
+    let upload_cheaper = model.Cost_model.upload < model.Cost_model.lambda in
+    let state = ref !best_state in
+    for i = n downto 1 do
+      let kept = parent_kept.(i).(!state) in
+      let from_time = Sequence.time seq (i - 1) and to_time = Sequence.time seq i in
+      for s = 0 to Sequence.m seq - 1 do
+        if kept land (1 lsl s) <> 0 then
+          caches := { Schedule.server = s; from_time; to_time } :: !caches
+      done;
+      let dest = Sequence.server seq i in
+      if kept land (1 lsl dest) = 0 then begin
+        let src =
+          if upload_cheaper then Schedule.From_external
+          else begin
+            (* any kept server works as a source; take the lowest *)
+            let rec first s = if kept land (1 lsl s) <> 0 then s else first (s + 1) in
+            Schedule.From_server (first 0)
+          end
+        in
+        transfers := { Schedule.src; dst = dest; time = to_time } :: !transfers
+      end;
+      state := parent_state.(i).(!state)
+    done;
+    (!best, Schedule.make ~caches:!caches ~transfers:!transfers)
+  end

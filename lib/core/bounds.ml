@@ -1,0 +1,22 @@
+let marginal model seq =
+  let n = Sequence.n seq in
+  let b = Array.make (n + 1) 0.0 in
+  for i = 1 to n do
+    b.(i) <- Float.min model.Cost_model.lambda (model.Cost_model.mu *. Sequence.sigma seq i)
+  done;
+  b
+
+let running model seq =
+  let b = marginal model seq in
+  let acc = ref 0.0 in
+  Array.map
+    (fun bi ->
+      acc := !acc +. bi;
+      !acc)
+    b
+
+let lower_bound model seq =
+  let bigB = running model seq in
+  bigB.(Sequence.n seq)
+
+let coverage_lower_bound model seq = model.Cost_model.mu *. Sequence.horizon seq

@@ -1,0 +1,31 @@
+(** Lower bounds on the optimal service cost (Definitions 4 and 5).
+
+    The marginal cost bound of request [r_i] is
+    [b_i = min(lambda, mu * sigma_i)]: serving [r_i] costs at least a
+    transfer or at least extending the server's own cache from the
+    previous request on it.  The running bound
+    [B_i = b_1 + ... + b_i] lower-bounds the cost of any feasible
+    schedule for the prefix [r_1 .. r_i] (so [B_i <= C(i)]).  These
+    quantities drive both the fast offline recurrence (Section IV) and
+    the online competitive analysis (Lemma 8). *)
+
+val marginal : Cost_model.t -> Sequence.t -> float array
+(** [marginal model seq] is [b] with [b.(i) = min(lambda, mu *
+    sigma_i)] for [1 <= i <= n] and [b.(0) = 0]. *)
+
+val running : Cost_model.t -> Sequence.t -> float array
+(** [running model seq] is [bigB] with [bigB.(i) = B_i] (prefix sums
+    of {!marginal}); [bigB.(0) = 0]. *)
+
+val lower_bound : Cost_model.t -> Sequence.t -> float
+(** [B_n]: a lower bound on the cost of any schedule serving the whole
+    sequence.  Note the bound does not include the mandatory caching
+    cost between requests, so it can be loose; it is exactly the bound
+    the paper uses. *)
+
+val coverage_lower_bound : Cost_model.t -> Sequence.t -> float
+(** A second, independent lower bound: at least one copy must be
+    cached at every instant of [\[t_0, t_n\]] (constraint (1) of
+    Section III), so every schedule costs at least
+    [mu * t_n].  Combined with nothing else this is also loose, but
+    [max] of the two bounds tightens sanity checks in tests. *)

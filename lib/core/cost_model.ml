@@ -1,0 +1,17 @@
+type t = { mu : float; lambda : float; upload : float }
+
+let make ?(upload = infinity) ~mu ~lambda () =
+  if not (mu > 0.) then invalid_arg "Cost_model.make: mu must be positive";
+  if not (lambda > 0.) then invalid_arg "Cost_model.make: lambda must be positive";
+  if not (upload > 0.) then invalid_arg "Cost_model.make: upload must be positive";
+  { mu; lambda; upload }
+
+let unit = { mu = 1.0; lambda = 1.0; upload = infinity }
+
+let delta_t t = t.lambda /. t.mu
+
+let caching t ~duration = t.mu *. duration
+
+let pp ppf t =
+  if t.upload = infinity then Format.fprintf ppf "{mu=%g; lambda=%g}" t.mu t.lambda
+  else Format.fprintf ppf "{mu=%g; lambda=%g; beta=%g}" t.mu t.lambda t.upload

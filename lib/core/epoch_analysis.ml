@@ -1,0 +1,90 @@
+type epoch = {
+  index : int;
+  start_time : float;
+  end_time : float;
+  requests : int;
+  sc_cost : float;
+  opt_cost : float;
+  ratio : float;
+}
+
+(* Optimal cost of serving [requests] when the item initially sits on
+   [home] at [start]: shift times to start at 0 and swap labels so
+   [home] becomes server 0 (the homogeneous optimum is label-invariant). *)
+let rerooted_opt model ~m ~home ~start requests =
+  let swap s = if s = home then 0 else if s = 0 then home else s in
+  let shifted =
+    List.map
+      (fun (server, time) -> Request.make ~server:(swap server) ~time:(time -. start))
+      requests
+  in
+  Offline_dp.cost (Offline_dp.solve model (Sequence.create_exn ~m (Array.of_list shifted)))
+
+let analyse ~epoch_size model seq =
+  let run = Online_sc.run ~epoch_size ~record_events:true model seq in
+  let horizon = Sequence.horizon seq in
+  (* boundaries: (start, home-at-start); resets keep the current server *)
+  let resets =
+    List.filter_map
+      (function Online_sc.Epoch_reset { time; kept } -> Some (time, kept) | _ -> None)
+      run.events
+  in
+  let starts = (0.0, 0) :: resets in
+  let windows =
+    List.mapi
+      (fun index (start, home) ->
+        let close =
+          match List.nth_opt starts (index + 1) with
+          | Some (next_start, _) -> next_start
+          | None -> horizon
+        in
+        (index, start, close, home))
+      starts
+  in
+  List.map
+    (fun (index, start, close, home) ->
+      (* requests strictly after [start], up to and including [close] *)
+      let members = ref [] in
+      for i = Sequence.n seq downto 1 do
+        let t = Sequence.time seq i in
+        if t > start && t <= close then
+          members := (i, Sequence.server seq i, t) :: !members
+      done;
+      let transfers =
+        List.length
+          (List.filter
+             (fun (i, _, _) ->
+               match run.serves.(i) with
+               | Online_sc.By_transfer _ -> true
+               | Online_sc.By_cache -> false)
+             !members)
+      in
+      let caching =
+        List.fold_left
+          (fun acc (s : Online_sc.segment) ->
+            let lo = Float.max s.activated start and hi = Float.min s.deactivated close in
+            if hi > lo then acc +. (model.Cost_model.mu *. (hi -. lo)) else acc)
+          0.0 run.segments
+      in
+      let sc_cost = caching +. (model.Cost_model.lambda *. float_of_int transfers) in
+      let opt_cost =
+        if !members = [] then 0.0
+        else
+          rerooted_opt model ~m:(Sequence.m seq) ~home ~start
+            (List.map (fun (_, server, time) -> (server, time)) !members)
+      in
+      {
+        index;
+        start_time = start;
+        end_time = close;
+        requests = List.length !members;
+        sc_cost;
+        opt_cost;
+        ratio = (if opt_cost > 0. then sc_cost /. opt_cost else nan);
+      })
+    windows
+
+let max_ratio epochs =
+  List.fold_left
+    (fun acc e -> if Float.is_nan e.ratio then acc else Float.max acc e.ratio)
+    0.0 epochs

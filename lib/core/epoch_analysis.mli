@@ -1,0 +1,28 @@
+(** Per-epoch verification of Theorem 3.
+
+    The paper proves [Pi(SC) <= 3 Pi(OPT)] {e per epoch} and concludes
+    by repetition.  This module checks that phrasing directly: it
+    splits an epoched SC run at its reset points, attributes the run's
+    costs to each epoch (transfers by their serve time, caching by
+    clipping copy lifetimes to the epoch window), and solves each
+    epoch's sub-instance optimally — re-rooted so the item starts
+    where the previous epoch left it, which a label swap achieves
+    because the homogeneous optimum is label-invariant
+    (property-tested in [test_streaming.ml]). *)
+
+type epoch = {
+  index : int;  (** 0-based *)
+  start_time : float;  (** reset (or 0) opening the epoch *)
+  end_time : float;  (** reset closing it, or the horizon *)
+  requests : int;  (** requests served inside the epoch *)
+  sc_cost : float;  (** SC spend attributed to the epoch *)
+  opt_cost : float;  (** optimum of the epoch's own sub-instance *)
+  ratio : float;  (** [sc_cost /. opt_cost]; [nan] when the epoch is empty *)
+}
+
+val analyse : epoch_size:int -> Cost_model.t -> Sequence.t -> epoch list
+(** Runs SC with the given epoch size and decomposes.  The epoch costs
+    sum to the run's total (up to rounding; asserted in tests). *)
+
+val max_ratio : epoch list -> float
+(** Largest finite per-epoch ratio; [0.] if none. *)

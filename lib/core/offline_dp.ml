@@ -1,0 +1,22 @@
+(* The batch solver is a thin wrapper over the streaming solver —
+   recurrences and reconstruction live in Streaming_dp. *)
+
+type t = { stream : Streaming_dp.t; n : int }
+
+let solve model seq =
+  let stream = Streaming_dp.create model ~m:(Sequence.m seq) in
+  for i = 1 to Sequence.n seq do
+    Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
+  done;
+  { stream; n = Sequence.n seq }
+
+let cost r = Streaming_dp.cost r.stream
+
+let c r = Array.init (r.n + 1) (fun i -> Streaming_dp.cost_at r.stream i)
+let d r = Array.init (r.n + 1) (fun i -> Streaming_dp.semi_cost_at r.stream i)
+let marginal_bounds r = Array.init (r.n + 1) (fun i -> Streaming_dp.marginal_at r.stream i)
+let running_bounds r = Array.init (r.n + 1) (fun i -> Streaming_dp.running_at r.stream i)
+
+let pivot_of r i = Streaming_dp.pivot_at r.stream i
+
+let schedule r = Streaming_dp.schedule r.stream

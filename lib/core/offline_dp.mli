@@ -1,0 +1,55 @@
+(** The paper's fast optimal offline algorithm (Section IV).
+
+    Computes the minimum total service cost and an optimal schedule in
+    [O(mn)] time and space using the coupled recurrences (2) and (5):
+
+    - [C(i)] — optimal cost of serving [r_0 .. r_i]
+      ({!val-c}, Definition 6):
+      [C(i) = min(D(i), C(i-1) + mu * dt_{i-1,i} + lambda)];
+    - [D(i)] — semi-optimal cost under the condition that [r_i] is
+      served by the cache [H(s_i, t_{p(i)}, t_i)] ({!val-d},
+      Definition 7):
+      [D(i) = min(C(p(i)) + mu*sigma_i + B_{i-1} - B_{p(i)},
+                  min_{kappa} D(kappa) + mu*sigma_i + B_{i-1} - B_kappa)].
+
+    The pivot candidates [kappa] are found in [O(1)] per server via
+    the pre-scanned matrix [A] of Theorem 2: for each server [j] the
+    candidate is the request on [j] whose cache interval
+    [\[t_{p(kappa)}, t_kappa\]] spans [t_{p(i)}] — at most one per
+    server, so [|pi(i)| <= m] candidates per request.
+
+    When the cost model enables uploads ([beta < infinity]) the
+    algorithm treats [min(lambda, beta)] as the effective cost of
+    materialising the item on a server at an instant; the paper's
+    setting is recovered at [beta = +infinity]. *)
+
+type t
+
+val solve : Cost_model.t -> Sequence.t -> t
+(** Runs the sweep.  [O(mn)] time and space. *)
+
+val cost : t -> float
+(** [C(n)]: the optimal total service cost [Pi(Psi^*(n))]. *)
+
+val c : t -> float array
+(** The vector [C(0) .. C(n)]. *)
+
+val d : t -> float array
+(** The vector [D(0) .. D(n)] ([D(i) = infinity] for the first request
+    on each server). *)
+
+val marginal_bounds : t -> float array
+(** [b_1 .. b_n] (index 0 unused, [0.]). *)
+
+val running_bounds : t -> float array
+(** [B_0 .. B_n]. *)
+
+val schedule : t -> Schedule.t
+(** Reconstructs an optimal schedule by backtracking the stored
+    argmins ([O(n)] per call).  The result is feasible
+    ({!Schedule.validate}), in standard form, and its
+    {!Schedule.cost} equals {!cost} up to rounding. *)
+
+val pivot_of : t -> int -> int option
+(** For introspection/tests: the pivot index [kappa] chosen for
+    [D(i)], if [D(i)] was obtained through Lemma 4. *)

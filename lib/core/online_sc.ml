@@ -1,0 +1,268 @@
+type serve_kind = By_cache | By_transfer of int
+
+type event =
+  | Served of { index : int; server : int; time : float; kind : serve_kind }
+  | Expired of { server : int; time : float }
+  | Extended of { server : int; time : float; new_expiry : float }
+  | Epoch_reset of { time : float; kept : int }
+
+type segment = {
+  seg_server : int;
+  activated : float;
+  deactivated : float;
+  by_transfer : bool;
+  tail : float;
+}
+
+type run = {
+  caching_cost : float;
+  transfer_cost : float;
+  total_cost : float;
+  num_transfers : int;
+  num_epochs : int;
+  serves : serve_kind array;
+  events : event list;
+  segments : segment list;
+}
+
+let competitive_bound = 3.0
+
+type state = {
+  delta_t : float;  (* base window: the last-copy extension quantum *)
+  window_for : server:int -> time:float -> float;  (* per-refresh window *)
+  mu : float;
+  active : bool array;
+  expiry : float array;
+  activated : float array;  (* activation time of the live copy *)
+  last_use : float array;  (* last serve/refresh time of the live copy *)
+  stamp : int array;  (* refresh recency, for the source/target tie-break *)
+  from_transfer : bool array;
+  queue : (float * int) Dcache_prelude.Pqueue.t;
+  mutable live : int;  (* the paper's counter c *)
+  mutable next_stamp : int;
+  mutable caching : float;
+  mutable segments : segment list;
+  mutable events : event list;
+  record : bool;
+}
+
+let log st e = if st.record then st.events <- e :: st.events
+
+let refresh st server time =
+  st.expiry.(server) <- time +. st.window_for ~server ~time;
+  st.last_use.(server) <- time;
+  st.stamp.(server) <- st.next_stamp;
+  st.next_stamp <- st.next_stamp + 1;
+  Dcache_prelude.Pqueue.push st.queue (st.expiry.(server), server)
+
+let activate st server time ~by_transfer =
+  st.active.(server) <- true;
+  st.activated.(server) <- time;
+  st.from_transfer.(server) <- by_transfer;
+  st.live <- st.live + 1;
+  refresh st server time
+
+let deactivate st server time =
+  st.active.(server) <- false;
+  st.live <- st.live - 1;
+  st.caching <- st.caching +. (st.mu *. (time -. st.activated.(server)));
+  st.segments <-
+    {
+      seg_server = server;
+      activated = st.activated.(server);
+      deactivated = time;
+      by_transfer = st.from_transfer.(server);
+      tail = time -. st.last_use.(server);
+    }
+    :: st.segments
+
+let valid st (time, server) = st.active.(server) && st.expiry.(server) = time
+
+(* Process expirations strictly before [limit]. *)
+let rec drain st limit =
+  match Dcache_prelude.Pqueue.peek st.queue with
+  | Some ((time, _) as entry) when time < limit ->
+      ignore (Dcache_prelude.Pqueue.pop st.queue);
+      if valid st entry then begin
+        let _, server = entry in
+        (* a simultaneous valid partner can only be the other half of a
+           source/target pair refreshed by one transfer *)
+        let partner =
+          match Dcache_prelude.Pqueue.peek st.queue with
+          | Some ((t2, s2) as e2) when t2 = time && s2 <> server && valid st e2 ->
+              ignore (Dcache_prelude.Pqueue.pop st.queue);
+              Some (snd e2)
+          | Some _ | None -> None
+        in
+        (match partner with
+        | Some other ->
+            if st.live > 2 then begin
+              deactivate st server time;
+              deactivate st other time;
+              log st (Expired { server; time });
+              log st (Expired { server = other; time })
+            end
+            else begin
+              (* the last two copies: drop the source, keep the target *)
+              let source, target =
+                if st.stamp.(server) > st.stamp.(other) then (other, server)
+                else (server, other)
+              in
+              deactivate st source time;
+              log st (Expired { server = source; time });
+              st.expiry.(target) <- time +. st.delta_t;
+              Dcache_prelude.Pqueue.push st.queue (st.expiry.(target), target);
+              log st (Extended { server = target; time; new_expiry = st.expiry.(target) })
+            end
+        | None ->
+            if st.live > 1 then begin
+              deactivate st server time;
+              log st (Expired { server; time })
+            end
+            else begin
+              (* last copy anywhere: extend.  Consecutive extensions
+                 across an idle gap collapse into one jump of
+                 ceil((limit - t) / delta_t) windows — no observable
+                 difference, since nothing else can happen while a
+                 single copy idles. *)
+              let gaps = Float.ceil ((limit -. time) /. st.delta_t) in
+              let gaps = Float.max gaps 1.0 in
+              st.expiry.(server) <- time +. (gaps *. st.delta_t);
+              Dcache_prelude.Pqueue.push st.queue (st.expiry.(server), server);
+              log st (Extended { server; time; new_expiry = st.expiry.(server) })
+            end);
+        drain st limit
+      end
+      else drain st limit
+  | Some _ | None -> ()
+
+let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy model seq =
+  if epoch_size < 1 then invalid_arg "Online_sc.run: epoch_size must be positive";
+  let delta_t =
+    match window with
+    | None -> Cost_model.delta_t model
+    | Some w ->
+        if not (w > 0.) then invalid_arg "Online_sc.run: window must be positive";
+        w
+  in
+  let window_for =
+    match window_policy with
+    | None -> fun ~server:_ ~time:_ -> delta_t
+    | Some f ->
+        fun ~server ~time ->
+          let w = f ~server ~time in
+          if not (w > 0.) then invalid_arg "Online_sc.run: window_policy must be positive";
+          w
+  in
+  let n = Sequence.n seq and m = Sequence.m seq in
+  let st =
+    {
+      delta_t;
+      window_for;
+      mu = model.Cost_model.mu;
+      active = Array.make m false;
+      expiry = Array.make m 0.0;
+      activated = Array.make m 0.0;
+      last_use = Array.make m 0.0;
+      stamp = Array.make m 0;
+      from_transfer = Array.make m false;
+      queue = Dcache_prelude.Pqueue.create ~cmp:compare;
+      live = 0;
+      next_stamp = 1;
+      caching = 0.0;
+      segments = [];
+      events = [];
+      record = record_events;
+    }
+  in
+  activate st 0 0.0 ~by_transfer:false;
+  let transfer_cost = ref 0.0 and num_transfers = ref 0 in
+  let epoch_transfers = ref 0 and num_epochs = ref 0 in
+  let last_copy_server = ref 0 in
+  let serves = Array.make (n + 1) By_cache in
+  for i = 1 to n do
+    let j = Sequence.server seq i and ti = Sequence.time seq i in
+    drain st ti;
+    if st.active.(j) && st.expiry.(j) >= ti then begin
+      (* live local copy: serve from cache and renew its window *)
+      refresh st j ti;
+      serves.(i) <- By_cache;
+      log st (Served { index = i; server = j; time = ti; kind = By_cache })
+    end
+    else begin
+      (* Transfer from the most recent copy.  Under the paper's
+         constant window it is always alive; a variable window_policy
+         can outlive it elsewhere, so fall back to the most recently
+         refreshed live copy (one always exists: the last copy is
+         never dropped). *)
+      let src =
+        if st.active.(!last_copy_server) then !last_copy_server
+        else begin
+          let best = ref (-1) in
+          for k = 0 to m - 1 do
+            if st.active.(k) && (!best < 0 || st.stamp.(k) > st.stamp.(!best)) then best := k
+          done;
+          !best
+        end
+      in
+      assert (src >= 0 && st.active.(src));
+      transfer_cost := !transfer_cost +. model.Cost_model.lambda;
+      incr num_transfers;
+      incr epoch_transfers;
+      refresh st src ti;
+      activate st j ti ~by_transfer:true;
+      serves.(i) <- By_transfer src;
+      log st (Served { index = i; server = j; time = ti; kind = By_transfer src })
+    end;
+    last_copy_server := j;
+    if !epoch_transfers >= epoch_size then begin
+      for k = 0 to m - 1 do
+        if k <> j && st.active.(k) then begin
+          deactivate st k ti;
+          log st (Expired { server = k; time = ti })
+        end
+      done;
+      epoch_transfers := 0;
+      incr num_epochs;
+      log st (Epoch_reset { time = ti; kept = j })
+    end
+  done;
+  (* truncate surviving copies at the horizon *)
+  let horizon = Sequence.horizon seq in
+  for k = 0 to m - 1 do
+    if st.active.(k) then deactivate st k horizon
+  done;
+  {
+    caching_cost = st.caching;
+    transfer_cost = !transfer_cost;
+    total_cost = st.caching +. !transfer_cost;
+    num_transfers = !num_transfers;
+    num_epochs = !num_epochs + 1;
+    serves;
+    events = List.rev st.events;
+    segments = List.rev st.segments;
+  }
+
+let schedule_of_run seq (run : run) =
+  let caches =
+    List.filter_map
+      (fun s ->
+        if s.deactivated > s.activated then
+          Some { Schedule.server = s.seg_server; from_time = s.activated; to_time = s.deactivated }
+        else None)
+      run.segments
+  in
+  let transfers = ref [] in
+  for i = 1 to Sequence.n seq do
+    match run.serves.(i) with
+    | By_cache -> ()
+    | By_transfer src ->
+        transfers :=
+          {
+            Schedule.src = Schedule.From_server src;
+            dst = Sequence.server seq i;
+            time = Sequence.time seq i;
+          }
+          :: !transfers
+  done;
+  Schedule.make ~caches ~transfers:!transfers

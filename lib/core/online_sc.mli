@@ -1,0 +1,97 @@
+(** The online Speculative Caching (SC) algorithm (Section V).
+
+    Every copy stays active for a speculative window
+    [delta_t = lambda / mu] past its last use: if the next local
+    request arrives within the window, serving it from cache costs no
+    more than a transfer would have; otherwise the copy expires.  A
+    request finding no live local copy is served by a transfer from
+    the most recent copy (the server of [r_{i-1}]), which the
+    expiration rules keep alive: on simultaneous expiration of a
+    transfer's source and target, the target survives; the last
+    remaining copy anywhere is always extended rather than dropped.
+    The paper proves this policy 3-competitive (Theorem 3).
+
+    Operational notes, matching the paper's description:
+
+    - epochs: after [epoch_size] transfers, all copies except the one
+      on the current server are dropped and the counters reset (the
+      default is a single unbounded epoch — the competitive ratio
+      holds per epoch either way);
+    - the item starts on server [0] at time [0] with a fresh window;
+    - reported caching cost is truncated at the horizon [t_n]:
+      speculative tails after the last request serve nobody, mirroring
+      the no-dead-end-cache property of schedules (this only lowers
+      SC's cost, by less than [m * lambda]);
+    - consecutive last-copy extensions across a long idle gap are
+      collapsed into one jump — observable behaviour (which copies
+      live, every cost) is unchanged. *)
+
+type serve_kind =
+  | By_cache  (** a live local copy covered the request *)
+  | By_transfer of int  (** transfer from the given source server *)
+
+type event =
+  | Served of { index : int; server : int; time : float; kind : serve_kind }
+  | Expired of { server : int; time : float }
+  | Extended of { server : int; time : float; new_expiry : float }
+      (** last-copy rule: the only live copy got a fresh window *)
+  | Epoch_reset of { time : float; kept : int }
+
+type segment = {
+  seg_server : int;
+  activated : float;
+  deactivated : float;  (** truncated at the horizon for surviving copies *)
+  by_transfer : bool;  (** [false] only for the initial copy on server 0 *)
+  tail : float;
+      (** unused trailing duration: deactivation minus last use; the
+          speculative cost [omega] of Definition 10 is [mu * tail],
+          and is always [<= lambda] *)
+}
+
+type run = {
+  caching_cost : float;
+  transfer_cost : float;
+  total_cost : float;
+  num_transfers : int;
+  num_epochs : int;  (** completed resets + the final partial epoch *)
+  serves : serve_kind array;  (** index [1..n]; index [0] is a dummy *)
+  events : event list;  (** chronological; empty unless [record_events] *)
+  segments : segment list;  (** every copy lifetime, chronological *)
+}
+
+val run :
+  ?epoch_size:int ->
+  ?record_events:bool ->
+  ?window:float ->
+  ?window_policy:(server:int -> time:float -> float) ->
+  Cost_model.t ->
+  Sequence.t ->
+  run
+(** Simulates SC over the whole sequence.  [O((n + m) log n)] time;
+    constant work per request apart from the expiry queue, matching
+    the paper's efficiency claim.
+
+    @param epoch_size number of transfers per epoch (default: no
+    epoching).
+    @param record_events keep the event log (default [false]; costs
+    memory on long runs).
+    @param window overrides the speculative window (default
+    [lambda / mu], the paper's choice; other values are for the
+    ablation of experiment E10 — the 3-competitive guarantee only
+    holds for the default).
+    @param window_policy per-refresh window: called each time a copy
+    is used or sourced, with the server and the current time.  This is
+    the hook {!Online_predictive} builds on; takes precedence over
+    [window].  The last-copy extension quantum stays at the base
+    window either way (it only affects liveness bookkeeping, never
+    cost). *)
+
+val schedule_of_run : Sequence.t -> run -> Schedule.t
+(** Renders an SC run as an explicit schedule — each copy lifetime
+    becomes a cache interval, each transfer-serve a transfer — so the
+    online algorithm's output can be checked by
+    {!Schedule.validate} and priced by {!Schedule.cost} exactly like
+    an offline schedule. *)
+
+val competitive_bound : float
+(** The proven worst-case ratio: [3.0]. *)

@@ -1,0 +1,81 @@
+(** Explicit schedules: cache intervals and transfers (Definition 1).
+
+    A schedule is the set of caching intervals [H(s, x, y)] and
+    transfers [Tr(src, dst, t)] chosen to serve a request sequence.
+    This module prices schedules and — crucially for the reproduction
+    — {e validates} them against the problem constraints of
+    Section III:
+
+    + at least one server caches the item at every time of
+      [\[t_0, t_n\]];
+    + the item is present on [s_i] at [t_i] for every request (either
+      a cache interval covers [t_i] or a transfer ends at
+      [(s_i, t_i)]);
+    + transfers depart from servers that actually hold a copy, and
+      every cache interval is {e sourced}: it begins at time [0] on
+      server [0], at an incoming transfer, or adjacent to a preceding
+      interval on the same server.
+
+    Requests served by a transfer whose copy is immediately deleted
+    (the red squares of Fig 1) occupy no cache interval at all —
+    possession at a point costs nothing. *)
+
+type cache = { server : int; from_time : float; to_time : float }
+
+type source =
+  | From_server of int
+  | From_external  (** upload from external storage, priced at [beta] *)
+
+type transfer = { src : source; dst : int; time : float }
+
+type t
+
+val make : caches:cache list -> transfers:transfer list -> t
+(** Intervals and transfers are stored sorted; [make] does not
+    validate feasibility (see {!validate}) but rejects malformed
+    pieces: empty or reversed intervals, negative times, a transfer
+    whose source equals its destination. *)
+
+val empty : t
+
+val caches : t -> cache list
+(** Sorted by server, then start time. *)
+
+val transfers : t -> transfer list
+(** Sorted by time. *)
+
+val caching_cost : Cost_model.t -> t -> float
+val transfer_cost : Cost_model.t -> t -> float
+
+val cost : Cost_model.t -> t -> float
+(** Total cost [Pi(Psi)]: caching plus transfer (uploads priced at
+    [beta]). *)
+
+val num_transfers : t -> int
+val num_copies_at : t -> float -> int
+(** Number of cache intervals covering the given instant (inclusive
+    endpoints). *)
+
+val holds_copy_at : t -> server:int -> time:float -> bool
+
+val union : t -> t -> t
+(** Concatenation of the two piece sets (no deduplication). *)
+
+val validate : Sequence.t -> t -> (unit, string list) result
+(** All feasibility constraints above.  Also rejects overlapping cache
+    intervals on one server (double caching a single item is never
+    minimal) and caching beyond the horizon [t_n] (dead-end caches).
+    Returns every violated constraint, not just the first. *)
+
+val validate_exn : Sequence.t -> t -> unit
+(** @raise Failure with the concatenated violations. *)
+
+val is_standard_form : Sequence.t -> t -> bool
+(** Observation 1: every transfer ends on a request, i.e. its
+    [(dst, time)] coincides with some [(s_i, t_i)]. *)
+
+val render : Sequence.t -> t -> string
+(** ASCII space-time diagram (one row per server: [=] cached, [*]
+    request, [T] transfer arrival, [^] transfer departure). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+type t = {
+  m : int;
+  server : int array;  (* index 0 = r_0 on server 0 *)
+  time : float array;
+  prev : int array;  (* p(i); -1 encodes the dummy request at -inf *)
+  sigma : float array;
+  on_server : int list array;  (* ascending request indices per server *)
+}
+
+let validate ~m requests =
+  if m < 1 then Error "Sequence: m must be at least 1"
+  else
+    let n = Array.length requests in
+    let rec check i last_time =
+      if i >= n then Ok ()
+      else
+        let { Request.server; time } = requests.(i) in
+        if server < 0 || server >= m then
+          Error (Printf.sprintf "Sequence: request %d on server %d outside [0, %d)" (i + 1) server m)
+        else if not (Float.is_finite time) then
+          Error (Printf.sprintf "Sequence: request %d has non-finite time" (i + 1))
+        else if time <= last_time then
+          Error
+            (Printf.sprintf "Sequence: request %d at time %g does not strictly follow %g" (i + 1)
+               time last_time)
+        else check (i + 1) time
+    in
+    check 0 0.0
+
+let build ~m requests =
+  let n = Array.length requests in
+  let server = Array.make (n + 1) 0 and time = Array.make (n + 1) 0.0 in
+  Array.iteri
+    (fun i { Request.server = s; time = t } ->
+      server.(i + 1) <- s;
+      time.(i + 1) <- t)
+    requests;
+  let prev = Array.make (n + 1) (-1) and sigma = Array.make (n + 1) infinity in
+  let last_on = Array.make m (-1) in
+  let rev_on = Array.make m [] in
+  sigma.(0) <- 0.0;
+  for i = 0 to n do
+    let s = server.(i) in
+    prev.(i) <- last_on.(s);
+    if i > 0 && last_on.(s) >= 0 then sigma.(i) <- time.(i) -. time.(last_on.(s));
+    last_on.(s) <- i;
+    rev_on.(s) <- i :: rev_on.(s)
+  done;
+  let on_server = Array.map List.rev rev_on in
+  { m; server; time; prev; sigma; on_server }
+
+let create ~m requests =
+  match validate ~m requests with Ok () -> Ok (build ~m requests) | Error _ as e -> e
+
+let create_exn ~m requests =
+  match create ~m requests with
+  | Ok t -> t
+  | Error msg -> invalid_arg msg
+
+let of_list ~m pairs =
+  let requests =
+    Array.of_list (List.map (fun (server, time) -> Request.make ~server ~time) pairs)
+  in
+  create_exn ~m requests
+
+let m t = t.m
+let n t = Array.length t.server - 1
+let server t i = t.server.(i)
+let time t i = t.time.(i)
+let request t i =
+  if i < 1 || i > n t then invalid_arg "Sequence.request: index out of range";
+  { Request.server = t.server.(i); time = t.time.(i) }
+
+let requests t = Array.init (n t) (fun i -> request t (i + 1))
+let horizon t = t.time.(n t)
+let prev_same_server t i = t.prev.(i)
+let sigma t i = t.sigma.(i)
+let requests_on t s = t.on_server.(s)
+
+let sub t k =
+  if k < 0 || k > n t then invalid_arg "Sequence.sub: index out of range";
+  build ~m:t.m (Array.init k (fun i -> request t (i + 1)))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>m=%d, n=%d" t.m (n t);
+  for i = 1 to n t do
+    Format.fprintf ppf "@,  r%d = %a" i Request.pp (request t i)
+  done;
+  Format.fprintf ppf "@]"

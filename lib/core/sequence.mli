@@ -1,0 +1,63 @@
+(** A validated problem instance: [m] fully connected servers and a
+    time-ordered request vector [r_1 .. r_n] (Section III).
+
+    The boundary request [r_0 = (s^1, 0)] is stored at index [0], so
+    all index-based accessors accept [0 .. n].  The paper's dummy
+    requests [r_{-j} = (s^j, -inf)] are represented by
+    [prev_same_server] returning [-1] and [sigma] returning
+    [infinity]. *)
+
+type t
+
+val create : m:int -> Request.t array -> (t, string) result
+(** [create ~m requests] validates that [m >= 1], every server index
+    is in [\[0, m)], times are finite, strictly increasing and
+    strictly positive (so they come after [r_0]). *)
+
+val create_exn : m:int -> Request.t array -> t
+(** @raise Invalid_argument when {!create} would return an error. *)
+
+val of_list : m:int -> (int * float) list -> t
+(** Convenience for literals: [(server, time)] pairs, validated as in
+    {!create_exn}. *)
+
+val m : t -> int
+(** Number of servers. *)
+
+val n : t -> int
+(** Number of real requests (excluding [r_0]). *)
+
+val server : t -> int -> int
+(** [server t i] for [i] in [\[0, n\]]; [server t 0 = 0]. *)
+
+val time : t -> int -> float
+(** [time t i] for [i] in [\[0, n\]]; [time t 0 = 0]. *)
+
+val request : t -> int -> Request.t
+(** [request t i] for [i] in [\[1, n\]]. *)
+
+val requests : t -> Request.t array
+(** The [n] user requests (a fresh copy). *)
+
+val horizon : t -> float
+(** [t_n], or [0] when [n = 0]: the end of the service window. *)
+
+val prev_same_server : t -> int -> int
+(** The paper's [p(i)]: the greatest [j < i] with [s_j = s_i], or
+    [-1] when no earlier event exists on that server (the dummy
+    request at [-inf]).  Note [p(i) = 0] is possible only for requests
+    on server [0]. *)
+
+val sigma : t -> int -> float
+(** The server interval [sigma_i = t_i - t_{p(i)}]; [infinity] when
+    [p(i) = -1]. *)
+
+val requests_on : t -> int -> int list
+(** [requests_on t s]: indices (ascending, possibly including [0] for
+    server [0]) of requests made on server [s]. *)
+
+val sub : t -> int -> t
+(** [sub t k] is the instance restricted to the first [k] requests
+    ([1 <= k <= n] — with [k = 0] the empty instance). *)
+
+val pp : Format.formatter -> t -> unit

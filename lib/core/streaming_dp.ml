@@ -1,0 +1,196 @@
+module Vec = Dcache_prelude.Vec
+
+type c_choice = C_base | C_step | C_cache
+
+type d_choice = D_undefined | D_prev | D_pivot of int
+
+type t = {
+  model : Cost_model.t;
+  m : int;
+  lam_eff : float;
+  (* per-request vectors, index 0 = the boundary request r_0 *)
+  server : int Vec.t;
+  time : float Vec.t;
+  prev : int Vec.t;  (* p(i); -1 for the dummy at -inf *)
+  sigma : float Vec.t;
+  b : float Vec.t;
+  big_b : float Vec.t;
+  c : float Vec.t;
+  d : float Vec.t;
+  c_choice : c_choice Vec.t;
+  d_choice : d_choice Vec.t;
+  next_same : int Vec.t;  (* successor on the same server; -1 = none yet *)
+  history : int array Vec.t;  (* the pre-scan matrix A: row i = last_on after r_i *)
+  last_on : int array;  (* latest request per server *)
+}
+
+let create model ~m =
+  if m < 1 then invalid_arg "Streaming_dp.create: m must be at least 1";
+  let t =
+    {
+      model;
+      m;
+      lam_eff = Float.min model.Cost_model.lambda model.Cost_model.upload;
+      server = Vec.create ();
+      time = Vec.create ();
+      prev = Vec.create ();
+      sigma = Vec.create ();
+      b = Vec.create ();
+      big_b = Vec.create ();
+      c = Vec.create ();
+      d = Vec.create ();
+      c_choice = Vec.create ();
+      d_choice = Vec.create ();
+      next_same = Vec.create ();
+      history = Vec.create ();
+      last_on = Array.make m (-1);
+    }
+  in
+  (* boundary request r_0 = (s^1, 0) *)
+  Vec.push t.server 0;
+  Vec.push t.time 0.0;
+  Vec.push t.prev (-1);
+  Vec.push t.sigma 0.0;
+  Vec.push t.b 0.0;
+  Vec.push t.big_b 0.0;
+  Vec.push t.c 0.0;
+  Vec.push t.d infinity;
+  Vec.push t.c_choice C_base;
+  Vec.push t.d_choice D_undefined;
+  Vec.push t.next_same (-1);
+  t.last_on.(0) <- 0;
+  Vec.push t.history (Array.copy t.last_on);
+  t
+
+let n t = Vec.length t.server - 1
+let m t = t.m
+let model t = t.model
+
+let cost t = Vec.last t.c
+let cost_at t i = Vec.get t.c i
+let semi_cost_at t i = Vec.get t.d i
+let marginal_at t i = Vec.get t.b i
+let running_at t i = Vec.get t.big_b i
+let server_at t i = Vec.get t.server i
+let time_at t i = Vec.get t.time i
+
+let pivot_at t i =
+  match Vec.get t.d_choice i with D_pivot kappa -> Some kappa | D_prev | D_undefined -> None
+
+let push t ~server ~time =
+  if server < 0 || server >= t.m then invalid_arg "Streaming_dp.push: server out of range";
+  if not (Float.is_finite time) then invalid_arg "Streaming_dp.push: non-finite time";
+  if time <= Vec.last t.time then
+    invalid_arg "Streaming_dp.push: times must strictly increase";
+  let mu = t.model.Cost_model.mu in
+  let i = Vec.length t.server in
+  let q = t.last_on.(server) in
+  let sigma = if q >= 0 then time -. Vec.get t.time q else infinity in
+  let bi = Float.min t.lam_eff (mu *. sigma) in
+  Vec.push t.server server;
+  Vec.push t.time time;
+  Vec.push t.prev q;
+  Vec.push t.sigma sigma;
+  Vec.push t.b bi;
+  Vec.push t.big_b (Vec.last t.big_b +. bi);
+  Vec.push t.next_same (-1);
+  if q >= 0 then Vec.set t.next_same q i;
+  (* --- D(i) --- *)
+  let d_value = ref infinity and d_choice = ref D_undefined in
+  if q >= 0 then begin
+    let base = (mu *. sigma) +. Vec.get t.big_b (i - 1) in
+    d_value := Vec.get t.c q +. base -. Vec.get t.big_b q;
+    d_choice := D_prev;
+    let row = Vec.get t.history q in
+    for j = 0 to t.m - 1 do
+      if j <> server then begin
+        let last = row.(j) in
+        if last >= 0 then begin
+          let kappa = Vec.get t.next_same last in
+          if kappa >= 0 && kappa < i && Vec.get t.d kappa < infinity then begin
+            let cand = Vec.get t.d kappa +. base -. Vec.get t.big_b kappa in
+            if cand < !d_value then begin
+              d_value := cand;
+              d_choice := D_pivot kappa
+            end
+          end
+        end
+      end
+    done
+  end;
+  Vec.push t.d !d_value;
+  Vec.push t.d_choice !d_choice;
+  (* --- C(i) --- *)
+  let step = Vec.get t.c (i - 1) +. (mu *. (time -. Vec.get t.time (i - 1))) +. t.lam_eff in
+  if !d_value <= step then begin
+    Vec.push t.c !d_value;
+    Vec.push t.c_choice C_cache
+  end
+  else begin
+    Vec.push t.c step;
+    Vec.push t.c_choice C_step
+  end;
+  t.last_on.(server) <- i;
+  Vec.push t.history (Array.copy t.last_on)
+
+(* -- schedule reconstruction (identical walk to the batch solver) ------- *)
+
+type walk = Walk_c of int | Walk_d of int
+
+let schedule t =
+  let mu = t.model.Cost_model.mu in
+  let caches = ref [] and transfers = ref [] in
+  let add_cache server from_time to_time =
+    if to_time > from_time then caches := { Schedule.server; from_time; to_time } :: !caches
+  in
+  let src_of src_server =
+    if t.model.Cost_model.upload < t.model.Cost_model.lambda then Schedule.From_external
+    else Schedule.From_server src_server
+  in
+  let add_transfer src_server dst time =
+    transfers := { Schedule.src = src_of src_server; dst; time } :: !transfers
+  in
+  let serve_marginal source lo hi =
+    for h = lo to hi do
+      let sh = Vec.get t.server h in
+      if t.lam_eff <= mu *. Vec.get t.sigma h then add_transfer source sh (Vec.get t.time h)
+      else add_cache sh (Vec.get t.time (Vec.get t.prev h)) (Vec.get t.time h)
+    done
+  in
+  let state = ref (Walk_c (n t)) in
+  let continue = ref true in
+  while !continue do
+    match !state with
+    | Walk_c 0 -> continue := false
+    | Walk_c i -> (
+        match Vec.get t.c_choice i with
+        | C_cache -> state := Walk_d i
+        (* same-server step: the cache branch mathematically ties or
+           wins; avoid a degenerate self-transfer *)
+        | C_step when Vec.get t.server (i - 1) = Vec.get t.server i -> state := Walk_d i
+        | C_step ->
+            let prev = i - 1 in
+            add_cache (Vec.get t.server prev) (Vec.get t.time prev) (Vec.get t.time i);
+            add_transfer (Vec.get t.server prev) (Vec.get t.server i) (Vec.get t.time i);
+            state := Walk_c prev
+        | C_base -> assert false)
+    | Walk_d i -> (
+        let q = Vec.get t.prev i in
+        assert (q >= 0);
+        add_cache (Vec.get t.server i) (Vec.get t.time q) (Vec.get t.time i);
+        match Vec.get t.d_choice i with
+        | D_prev ->
+            serve_marginal (Vec.get t.server i) (q + 1) (i - 1);
+            state := Walk_c q
+        | D_pivot kappa ->
+            serve_marginal (Vec.get t.server i) (kappa + 1) (i - 1);
+            state := Walk_d kappa
+        | D_undefined -> assert false)
+  done;
+  Schedule.make ~caches:!caches ~transfers:!transfers
+
+let to_sequence t =
+  let count = n t in
+  Sequence.create_exn ~m:t.m
+    (Array.init count (fun i ->
+         { Request.server = Vec.get t.server (i + 1); time = Vec.get t.time (i + 1) }))

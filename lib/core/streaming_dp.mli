@@ -1,0 +1,60 @@
+(** Streaming form of the fast offline algorithm.
+
+    The recurrences of Section IV consume requests strictly in time
+    order and never revisit a decision, so the optimal-cost sweep is
+    naturally {e incremental}: feed requests one at a time and read
+    off the optimum-so-far after each.  A rolling-horizon deployment —
+    logs arrive in batches, the provider re-plans the tail — gets
+    exact prefix optima in [O(m)] amortised time per request instead
+    of re-running the batch solver.
+
+    {!Offline_dp} is a thin wrapper over this module, so both share
+    one implementation of the recurrences and of schedule
+    reconstruction. *)
+
+type t
+
+val create : Cost_model.t -> m:int -> t
+(** Empty instance: the item sits on server [0] at time [0]. *)
+
+val push : t -> server:int -> time:float -> unit
+(** Appends the next request.  [O(m)] time and extra space.
+    @raise Invalid_argument if the server is out of range or the time
+    does not strictly exceed the previous request's. *)
+
+val n : t -> int
+(** Requests pushed so far. *)
+
+val m : t -> int
+
+val model : t -> Cost_model.t
+
+val cost : t -> float
+(** [C(n)]: optimal cost of serving everything pushed so far. *)
+
+val cost_at : t -> int -> float
+(** [C(i)], [0 <= i <= n]. *)
+
+val semi_cost_at : t -> int -> float
+(** [D(i)] (Definition 7); [infinity] for the first request on a
+    server. *)
+
+val marginal_at : t -> int -> float
+(** [b_i = min(lambda_eff, mu sigma_i)]. *)
+
+val running_at : t -> int -> float
+(** [B_i]. *)
+
+val pivot_at : t -> int -> int option
+(** The pivot [kappa] chosen for [D(i)], when Lemma 4 won. *)
+
+val server_at : t -> int -> int
+val time_at : t -> int -> float
+
+val schedule : t -> Schedule.t
+(** Optimal schedule for the current prefix, by backtracking.  [O(n)]
+    per call; the walk never mutates solver state, so it can be called
+    between pushes. *)
+
+val to_sequence : t -> Sequence.t
+(** The pushed requests as a validated {!Sequence}. *)

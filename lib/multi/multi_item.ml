@@ -1,0 +1,131 @@
+open Dcache_core
+
+type item = { label : string; size : float; requests : Request.t array }
+
+let item ?(size = 1.0) label pairs =
+  {
+    label;
+    size;
+    requests = Array.of_list (List.map (fun (server, time) -> Request.make ~server ~time) pairs);
+  }
+
+type planned = {
+  p_label : string;
+  p_cost : float;
+  p_caching : float;
+  p_transfer : float;
+  p_schedule : Schedule.t;
+}
+
+type plan = {
+  items : planned list;
+  total_cost : float;
+  total_caching : float;
+  total_transfer : float;
+}
+
+let validate ~m items =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun it ->
+      if Hashtbl.mem seen it.label then
+        invalid_arg (Printf.sprintf "Multi_item: duplicate label %S" it.label);
+      Hashtbl.add seen it.label ();
+      if not (it.size > 0. && Float.is_finite it.size) then
+        invalid_arg (Printf.sprintf "Multi_item: item %S has a non-positive size" it.label);
+      (it, Sequence.create_exn ~m it.requests))
+    items
+
+(* Solve one item under a caching-rate multiplier, but report true
+   (multiplier-free) costs. *)
+let solve_item model ~multiplier (it, seq) =
+  let scaled =
+    Cost_model.make
+      ~mu:(model.Cost_model.mu *. it.size *. (1.0 +. multiplier))
+      ~lambda:(model.Cost_model.lambda *. it.size)
+      ()
+  in
+  let true_model =
+    Cost_model.make ~mu:(model.Cost_model.mu *. it.size)
+      ~lambda:(model.Cost_model.lambda *. it.size) ()
+  in
+  let schedule = Offline_dp.schedule (Offline_dp.solve scaled seq) in
+  let caching = Schedule.caching_cost true_model schedule in
+  let transfer = Schedule.transfer_cost true_model schedule in
+  {
+    p_label = it.label;
+    p_cost = caching +. transfer;
+    p_caching = caching;
+    p_transfer = transfer;
+    p_schedule = schedule;
+  }
+
+let assemble items =
+  let total f = List.fold_left (fun acc p -> acc +. f p) 0.0 items in
+  {
+    items;
+    total_cost = total (fun p -> p.p_cost);
+    total_caching = total (fun p -> p.p_caching);
+    total_transfer = total (fun p -> p.p_transfer);
+  }
+
+let plan_at model ~multiplier pairs = assemble (List.map (solve_item model ~multiplier) pairs)
+
+let plan model ~m items = plan_at model ~multiplier:0.0 (validate ~m items)
+
+let minimum_caching model ~m items =
+  List.fold_left
+    (fun acc (it, seq) -> acc +. (model.Cost_model.mu *. it.size *. Sequence.horizon seq))
+    0.0 (validate ~m items)
+
+type budgeted = { feasible : plan; multiplier : float; dual_bound : float }
+
+let plan_with_caching_budget ?(tolerance = 1e-6) model ~m ~budget items =
+  let pairs = validate ~m items in
+  let floor_spend =
+    List.fold_left
+      (fun acc (it, seq) -> acc +. (model.Cost_model.mu *. it.size *. Sequence.horizon seq))
+      0.0 pairs
+  in
+  if budget < floor_spend -. Dcache_prelude.Float_cmp.default_eps then
+    Error
+      (Printf.sprintf
+         "caching budget %g is below the coverage floor %g: one copy of each item must be \
+          cached at all times"
+         budget floor_spend)
+  else begin
+    let unconstrained = plan_at model ~multiplier:0.0 pairs in
+    if unconstrained.total_caching <= budget +. Dcache_prelude.Float_cmp.default_eps then
+      Ok { feasible = unconstrained; multiplier = 0.0; dual_bound = unconstrained.total_cost }
+    else begin
+      (* dual value at theta: relaxed objective minus theta * budget *)
+      let dual theta p = p.total_cost +. (theta *. p.total_caching) -. (theta *. budget) in
+      (* grow theta until the spend dips under budget *)
+      let rec find_hi theta =
+        let p = plan_at model ~multiplier:theta pairs in
+        if p.total_caching <= budget || theta > 1e12 then (theta, p) else find_hi (theta *. 2.0)
+      in
+      let hi, hi_plan = find_hi 1.0 in
+      if hi_plan.total_caching > budget +. Dcache_prelude.Float_cmp.default_eps then
+        Error "caching budget could not be met numerically (multiplier overflow)"
+      else begin
+      let best_feasible = ref hi_plan and best_theta = ref hi in
+      let best_dual = ref (Float.max (dual 0.0 unconstrained) (dual hi hi_plan)) in
+      let lo = ref 0.0 and hi = ref hi in
+      while !hi -. !lo > tolerance *. Float.max 1.0 !hi do
+        let mid = 0.5 *. (!lo +. !hi) in
+        let p = plan_at model ~multiplier:mid pairs in
+        best_dual := Float.max !best_dual (dual mid p);
+        if p.total_caching <= budget then begin
+          if p.total_cost < !best_feasible.total_cost then begin
+            best_feasible := p;
+            best_theta := mid
+          end;
+          hi := mid
+        end
+        else lo := mid
+      done;
+      Ok { feasible = !best_feasible; multiplier = !best_theta; dual_bound = !best_dual }
+      end
+    end
+  end

@@ -1,0 +1,107 @@
+type acc = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+  mutable sum : float;
+}
+
+let acc_create () = { n = 0; mean = 0.; m2 = 0.; lo = infinity; hi = neg_infinity; sum = 0. }
+
+let acc_add a x =
+  a.n <- a.n + 1;
+  let delta = x -. a.mean in
+  a.mean <- a.mean +. (delta /. float_of_int a.n);
+  a.m2 <- a.m2 +. (delta *. (x -. a.mean));
+  if x < a.lo then a.lo <- x;
+  if x > a.hi then a.hi <- x;
+  a.sum <- a.sum +. x
+
+let count a = a.n
+let mean a = if a.n = 0 then nan else a.mean
+let variance a = if a.n < 2 then nan else a.m2 /. float_of_int (a.n - 1)
+let stddev a = sqrt (variance a)
+let min_value a = a.lo
+let max_value a = a.hi
+let total a = a.sum
+
+let percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. w)) +. (sorted.(hi) *. w)
+
+let median samples = percentile samples 50.
+
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+}
+
+let histogram ~bins ~lo ~hi samples =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if not (hi > lo) then invalid_arg "Stats.histogram: empty range";
+  let counts = Array.make bins 0 in
+  let underflow = ref 0 and overflow = ref 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let place x =
+    if x < lo then incr underflow
+    else if x >= hi then if x = hi then counts.(bins - 1) <- counts.(bins - 1) + 1 else incr overflow
+    else
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1
+  in
+  Array.iter place samples;
+  { lo; hi; counts; underflow = !underflow; overflow = !overflow }
+
+let pp_histogram ppf h =
+  let bins = Array.length h.counts in
+  let width = (h.hi -. h.lo) /. float_of_int bins in
+  let peak = Array.fold_left max 1 h.counts in
+  for b = 0 to bins - 1 do
+    let left = h.lo +. (float_of_int b *. width) in
+    let bar = String.make (h.counts.(b) * 40 / peak) '#' in
+    Format.fprintf ppf "[%8.3f, %8.3f) %6d %s@." left (left +. width) h.counts.(b) bar
+  done;
+  if h.underflow > 0 then Format.fprintf ppf "underflow: %d@." h.underflow;
+  if h.overflow > 0 then Format.fprintf ppf "overflow: %d@." h.overflow
+
+let linear_fit points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and sxy = ref 0. in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let nf = float_of_int n in
+  let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  if denom = 0. then invalid_arg "Stats.linear_fit: x values are all equal";
+  let slope = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. nf in
+  (slope, intercept)
+
+let loglog_slope points =
+  let logged =
+    Array.map
+      (fun (x, y) ->
+        if x <= 0. || y <= 0. then invalid_arg "Stats.loglog_slope: coordinates must be positive";
+        (log x, log y))
+      points
+  in
+  fst (linear_fit logged)

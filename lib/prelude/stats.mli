@@ -1,0 +1,61 @@
+(** Summary statistics for experiment reporting.
+
+    Includes a streaming accumulator (Welford), exact order statistics
+    over collected samples, simple histograms, and ordinary
+    least-squares fits — the log-log variant is used to estimate the
+    empirical scaling exponent of the offline algorithms
+    (experiment E6 in DESIGN.md). *)
+
+(** {1 Streaming accumulator} *)
+
+type acc
+(** Streaming accumulator for count / mean / variance / extrema. *)
+
+val acc_create : unit -> acc
+val acc_add : acc -> float -> unit
+val count : acc -> int
+val mean : acc -> float
+(** Mean of added samples; [nan] when empty. *)
+
+val variance : acc -> float
+(** Unbiased sample variance; [nan] when fewer than two samples. *)
+
+val stddev : acc -> float
+val min_value : acc -> float
+val max_value : acc -> float
+val total : acc -> float
+
+(** {1 Order statistics} *)
+
+val percentile : float array -> float -> float
+(** [percentile samples p] with [p] in [\[0,100\]], linear
+    interpolation between closest ranks.  The array is not modified.
+    Raises [Invalid_argument] on an empty array. *)
+
+val median : float array -> float
+
+(** {1 Histogram} *)
+
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array;  (** one cell per bin, left-closed bins *)
+  underflow : int;
+  overflow : int;
+}
+
+val histogram : bins:int -> lo:float -> hi:float -> float array -> histogram
+
+val pp_histogram : Format.formatter -> histogram -> unit
+(** Renders each bin as a bar of ['#'] characters, normalised to the
+    fullest bin. *)
+
+(** {1 Least squares} *)
+
+val linear_fit : (float * float) array -> float * float
+(** [linear_fit points] returns [(slope, intercept)] of the OLS line.
+    Requires at least two points with distinct x. *)
+
+val loglog_slope : (float * float) array -> float
+(** Slope of the OLS fit to [(log x, log y)]: the empirical scaling
+    exponent of [y] in [x].  All coordinates must be positive. *)

@@ -1,0 +1,42 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length v = v.size
+let is_empty v = v.size = 0
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.size = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let ndata = Array.make ncap x in
+    Array.blit v.data 0 ndata 0 v.size;
+    v.data <- ndata
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let check v i name = if i < 0 || i >= v.size then invalid_arg ("Vec." ^ name ^ ": index out of bounds")
+
+let get v i =
+  check v i "get";
+  v.data.(i)
+
+let set v i x =
+  check v i "set";
+  v.data.(i) <- x
+
+let last v = if v.size = 0 then invalid_arg "Vec.last: empty" else v.data.(v.size - 1)
+
+let to_array v = Array.sub v.data 0 v.size
+
+let of_array a = { data = Array.copy a; size = Array.length a }
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let clear v =
+  v.data <- [||];
+  v.size <- 0

@@ -1,0 +1,31 @@
+(** Growable arrays (amortised O(1) append).
+
+    OCaml 5.1 predates [Dynarray]; this is the small subset the
+    streaming solver needs, with the usual doubling strategy. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument out of bounds (no implicit growth). *)
+
+val last : 'a t -> 'a
+(** @raise Invalid_argument on empty. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array of the current contents. *)
+
+val of_array : 'a array -> 'a t
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val clear : 'a t -> unit

@@ -1,0 +1,24 @@
+type t = {
+  caching_cost : float;
+  transfer_cost : float;
+  upload_cost : float;
+  total_cost : float;
+  num_transfers : int;
+  num_uploads : int;
+  cache_hits : int;
+  cache_misses : int;
+  peak_copies : int;
+  copy_time : float;
+}
+
+let hit_ratio t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then nan else float_of_int t.cache_hits /. float_of_int total
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>total cost     %.4f@,caching cost   %.4f@,transfer cost  %.4f (%d transfers)@,\
+     upload cost    %.4f (%d uploads)@,hit ratio      %.3f (%d hits / %d misses)@,\
+     peak copies    %d@,copy-time      %.4f@]"
+    t.total_cost t.caching_cost t.transfer_cost t.num_transfers t.upload_cost t.num_uploads
+    (hit_ratio t) t.cache_hits t.cache_misses t.peak_copies t.copy_time

@@ -1,0 +1,23 @@
+open Dcache_core
+
+type action =
+  | Serve_from_cache
+  | Fetch of { src : int }
+  | Fetch_and_discard of { src : int }
+  | Upload
+  | Upload_and_discard
+  | Provision of { src : int; dst : int }
+  | Drop of int
+  | Set_timer of { server : int; at : float }
+
+type view = { now : float; holds : int -> bool; live_copies : int }
+
+module type POLICY = sig
+  type t
+
+  val name : string
+  val create : Cost_model.t -> Sequence.t -> t
+  val init : t -> view -> action list
+  val on_request : t -> view -> index:int -> server:int -> action list
+  val on_timer : t -> view -> server:int -> action list
+end

@@ -1,0 +1,63 @@
+open Dcache_core
+
+(** Pluggable caching policies for the discrete-event engine.
+
+    A policy reacts to two kinds of events — an incoming request, or a
+    timer it armed earlier — by returning a list of {!action}s the
+    engine applies in order.  The engine owns all state that costs
+    money (which servers hold copies, the clock, the bill); the policy
+    owns only its decision state.  This split lets the same engine
+    replay an offline schedule, run the paper's speculative caching,
+    or run any baseline, with identical accounting. *)
+
+type action =
+  | Serve_from_cache
+      (** declare the request served by the local copy (the engine
+          verifies one is resident) *)
+  | Fetch of { src : int }
+      (** transfer from [src] to the requesting server; the copy
+          becomes resident there *)
+  | Fetch_and_discard of { src : int }
+      (** transfer that serves the request only; no resident copy
+          remains (the red squares of the paper's Fig 1) *)
+  | Upload
+      (** fetch from external storage (priced at [beta]); resident *)
+  | Upload_and_discard
+  | Provision of { src : int; dst : int }
+      (** transfer that serves nobody: pre-position a copy on [dst]
+          (e.g. a cheap warehouse server under heterogeneous prices);
+          legal outside request context *)
+  | Drop of int  (** delete the resident copy on a server *)
+  | Set_timer of { server : int; at : float }
+      (** ask to be woken at time [at] with the given server tag *)
+
+type view = {
+  now : float;
+  holds : int -> bool;  (** is a copy resident on this server? *)
+  live_copies : int;
+}
+(** Read-only window onto engine state offered to callbacks. *)
+
+module type POLICY = sig
+  type t
+
+  val name : string
+
+  val create : Cost_model.t -> Sequence.t -> t
+  (** The policy may pre-read the instance dimensions ([m], horizon);
+      online policies must not peek at future requests — by
+      convention, not enforcement (the offline replay policy is
+      exactly the one that does peek). *)
+
+  val init : t -> view -> action list
+  (** Actions applied at time [0], before any request — e.g. the
+      replay policy arms every planned drop timer here.  Most policies
+      return [[]]. *)
+
+  val on_request : t -> view -> index:int -> server:int -> action list
+  (** Must result in the item being available on [server] now: either
+      [Serve_from_cache] with a resident copy, or one of the fetch and
+      upload actions. *)
+
+  val on_timer : t -> view -> server:int -> action list
+end

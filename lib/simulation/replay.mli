@@ -1,0 +1,17 @@
+open Dcache_core
+
+(** Replaying an explicit schedule through the engine.
+
+    [make schedule] builds a policy that performs exactly the cache
+    intervals and transfers of [schedule]: drop timers are armed for
+    every (merged) interval end at {!Policy.POLICY.init} time, and
+    each request is served the way the schedule says.  Running the
+    replay of an optimal schedule through {!Engine.run} and comparing
+    the engine's bill against {!Schedule.cost} closes the validation
+    loop: recurrence mathematics, schedule pricing and event-driven
+    accounting must all agree. *)
+
+val make : Schedule.t -> (module Policy.POLICY)
+(** The schedule must be feasible for the sequence the engine is run
+    on ({!Schedule.validate}); replaying an infeasible schedule raises
+    {!Engine.Engine_error} at the first inconsistency. *)

@@ -1,0 +1,63 @@
+open Dcache_core
+
+type t = {
+  delta_t : float;
+  expiry : float array;  (* valid only while the engine shows a resident copy *)
+  stamp : int array;  (* refresh recency for the source/target tie-break *)
+  mutable next_stamp : int;
+  mutable last_copy_server : int;
+}
+
+let name = "speculative-caching"
+
+let create model seq =
+  let m = Sequence.m seq in
+  {
+    delta_t = Cost_model.delta_t model;
+    expiry = Array.make m 0.0;
+    stamp = Array.make m 0;
+    next_stamp = 1;
+    last_copy_server = 0;
+  }
+
+let refresh t server now =
+  t.expiry.(server) <- now +. t.delta_t;
+  t.stamp.(server) <- t.next_stamp;
+  t.next_stamp <- t.next_stamp + 1;
+  Policy.Set_timer { server; at = t.expiry.(server) }
+
+let init t (view : Policy.view) = [ refresh t 0 view.now ]
+
+let on_request t (view : Policy.view) ~index:_ ~server =
+  if view.holds server && t.expiry.(server) >= view.now then begin
+    t.last_copy_server <- server;
+    [ Policy.Serve_from_cache; refresh t server view.now ]
+  end
+  else begin
+    let src = t.last_copy_server in
+    t.last_copy_server <- server;
+    (* evaluation order matters: the destination must get the newer
+       stamp so a simultaneous source/target expiry keeps the target *)
+    let refresh_src = refresh t src view.now in
+    let refresh_dst = refresh t server view.now in
+    [ Policy.Fetch { src }; refresh_src; refresh_dst ]
+  end
+
+let on_timer t (view : Policy.view) ~server =
+  if (not (view.holds server)) || t.expiry.(server) > view.now then
+    [] (* already dropped, or refreshed since this timer was armed *)
+  else begin
+    (* a live partner with the same expiry is the other half of a
+       transfer's source/target pair *)
+    let partner = ref (-1) in
+    Array.iteri
+      (fun s e -> if s <> server && view.holds s && e = view.now then partner := s)
+      t.expiry;
+    if view.live_copies = 1 then [ refresh t server view.now ] (* last copy: extend *)
+    else if !partner >= 0 && view.live_copies = 2 then
+      (* last two copies expiring together: the source (older stamp)
+         goes, the target survives with a fresh window *)
+      if t.stamp.(server) < t.stamp.(!partner) then [ Policy.Drop server ]
+      else [ refresh t server view.now ]
+    else [ Policy.Drop server ]
+  end

@@ -1,0 +1,16 @@
+(** The Speculative Caching algorithm as an engine policy.
+
+    A timer-driven reimplementation of {!Dcache_core.Online_sc} on top
+    of {!Engine}: every serve or transfer-source refresh arms an
+    expiration timer one window ([lambda / mu]) ahead; stale timers
+    are recognised and ignored; on expiry the copy is dropped unless
+    it is the last one (extend) or the newer half of a
+    source/target pair (the source goes first).
+
+    The two implementations share no code, so
+    [Engine.run (module Sc_policy)] reproducing
+    {!Dcache_core.Online_sc.run}'s costs {e exactly} is a strong
+    cross-validation of both — asserted in the test suite over random
+    workloads. *)
+
+include Policy.POLICY

@@ -1,0 +1,44 @@
+module Static_home = struct
+  type t = unit
+
+  let name = "static-home"
+  let create _model _seq = ()
+  let init () _view = []
+
+  let on_request () (view : Policy.view) ~index:_ ~server =
+    if view.holds server then [ Policy.Serve_from_cache ]
+    else [ Policy.Fetch_and_discard { src = 0 } ]
+
+  let on_timer () _view ~server:_ = []
+end
+
+module Follow = struct
+  type t = { mutable location : int }
+
+  let name = "follow"
+  let create _model _seq = { location = 0 }
+  let init _t _view = []
+
+  let on_request t (view : Policy.view) ~index:_ ~server =
+    if view.holds server then [ Policy.Serve_from_cache ]
+    else begin
+      let src = t.location in
+      t.location <- server;
+      [ Policy.Fetch { src }; Policy.Drop src ]
+    end
+
+  let on_timer _t _view ~server:_ = []
+end
+
+module Cache_everywhere = struct
+  type t = unit
+
+  let name = "cache-everywhere"
+  let create _model _seq = ()
+  let init () _view = []
+
+  let on_request () (view : Policy.view) ~index:_ ~server =
+    if view.holds server then [ Policy.Serve_from_cache ] else [ Policy.Fetch { src = 0 } ]
+
+  let on_timer () _view ~server:_ = []
+end

@@ -1,0 +1,17 @@
+(** Baseline strategies as engine policies.
+
+    Functionally the same strategies as
+    {!Dcache_baselines.Online_policies}, but expressed through the
+    event-driven interface.  Running both and comparing bills is how
+    the test suite validates the engine's accounting. *)
+
+module Static_home : Policy.POLICY
+(** The copy never leaves server 0; remote requests are served by
+    transfer-and-discard. *)
+
+module Follow : Policy.POLICY
+(** A single copy migrates to every requesting server (the previous
+    location is dropped on arrival of the new copy). *)
+
+module Cache_everywhere : Policy.POLICY
+(** Replicate on first touch, never drop. *)

@@ -1,0 +1,121 @@
+open Dcache_core
+
+type options = { width : int; lane_height : int; title : string option }
+
+let default_options = { width = 840; lane_height = 48; title = None }
+
+let margin_left = 64
+let margin_top = 28
+let margin_bottom = 30
+
+(* One schedule drawn into [buf] with its lanes offset by [y0];
+   returns the height consumed. *)
+let draw_panel buf options ~y0 ~subtitle seq schedule =
+  let m = Sequence.m seq in
+  let horizon = Float.max 1e-9 (Sequence.horizon seq) in
+  let plot_width = float_of_int (options.width - margin_left - 16) in
+  let x time = float_of_int margin_left +. (time /. horizon *. plot_width) in
+  let lane s = y0 + margin_top + (s * options.lane_height) in
+  let lane_mid s = float_of_int (lane s) +. (float_of_int options.lane_height /. 2.0) in
+  let put fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  (match subtitle with
+  | Some text ->
+      put "<text x=\"%d\" y=\"%d\" font-size=\"13\" font-weight=\"bold\" fill=\"#333\">%s</text>\n"
+        margin_left (y0 + 16) text
+  | None -> ());
+  (* lanes and labels *)
+  for s = 0 to m - 1 do
+    put
+      "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ddd\" stroke-width=\"1\"/>\n"
+      margin_left (lane_mid s) (options.width - 16) (lane_mid s);
+    put "<text x=\"8\" y=\"%.1f\" font-size=\"12\" fill=\"#555\">s%d</text>\n"
+      (lane_mid s +. 4.0) s
+  done;
+  (* cache intervals *)
+  List.iter
+    (fun c ->
+      put
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"10\" rx=\"3\" fill=\"#4c8cca\" \
+         fill-opacity=\"0.8\"><title>H(s%d, %.3f, %.3f)</title></rect>\n"
+        (x c.Schedule.from_time)
+        (lane_mid c.Schedule.server -. 5.0)
+        (Float.max 1.0 (x c.Schedule.to_time -. x c.Schedule.from_time))
+        c.Schedule.server c.Schedule.from_time c.Schedule.to_time)
+    (Schedule.caches schedule);
+  (* transfers *)
+  List.iter
+    (fun tr ->
+      match tr.Schedule.src with
+      | Schedule.From_server src ->
+          put
+            "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#c2503c\" \
+             stroke-width=\"1.5\" marker-end=\"url(#arrow)\"><title>Tr(s%d -&gt; s%d, %.3f)</title></line>\n"
+            (x tr.Schedule.time) (lane_mid src) (x tr.Schedule.time)
+            (lane_mid tr.Schedule.dst)
+            src tr.Schedule.dst tr.Schedule.time
+      | Schedule.From_external ->
+          put
+            "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"#8c6bb1\" \
+             stroke-width=\"1.5\" stroke-dasharray=\"4 2\" marker-end=\"url(#arrow)\"><title>upload at %.3f</title></line>\n"
+            (x tr.Schedule.time) (y0 + margin_top - 10) (x tr.Schedule.time)
+            (lane_mid tr.Schedule.dst)
+            tr.Schedule.time)
+    (Schedule.transfers schedule);
+  (* requests *)
+  for i = 1 to Sequence.n seq do
+    put
+      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"4\" fill=\"#222\"><title>r%d on s%d at %.3f</title></circle>\n"
+      (x (Sequence.time seq i))
+      (lane_mid (Sequence.server seq i))
+      i (Sequence.server seq i) (Sequence.time seq i)
+  done;
+  (* time axis *)
+  let axis_y = lane (m - 1) + options.lane_height + 8 in
+  put
+    "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#999\" stroke-width=\"1\"/>\n"
+    margin_left axis_y (options.width - 16) axis_y;
+  let ticks = 6 in
+  for k = 0 to ticks do
+    let time = horizon *. float_of_int k /. float_of_int ticks in
+    put "<text x=\"%.1f\" y=\"%d\" font-size=\"10\" fill=\"#777\" text-anchor=\"middle\">%.2f</text>\n"
+      (x time) (axis_y + 14) time
+  done;
+  margin_top + (m * options.lane_height) + margin_bottom
+
+let document options ~height body =
+  Printf.sprintf
+    {|<?xml version="1.0" encoding="UTF-8"?>
+<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">
+<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="6" markerHeight="6" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="#c2503c"/></marker></defs>
+<rect width="100%%" height="100%%" fill="white"/>
+%s%s</svg>
+|}
+    options.width height options.width height
+    (match options.title with
+    | Some t ->
+        Printf.sprintf
+          "<text x=\"%d\" y=\"18\" font-size=\"15\" font-weight=\"bold\" fill=\"#111\">%s</text>\n"
+          margin_left t
+    | None -> "")
+    body
+
+let schedule_svg ?(options = default_options) seq schedule =
+  let buf = Buffer.create 4096 in
+  let title_offset = match options.title with Some _ -> 22 | None -> 0 in
+  let consumed = draw_panel buf options ~y0:title_offset ~subtitle:None seq schedule in
+  document options ~height:(title_offset + consumed) (Buffer.contents buf)
+
+let comparison_svg ?(options = default_options) seq panels =
+  let buf = Buffer.create 8192 in
+  let title_offset = match options.title with Some _ -> 22 | None -> 0 in
+  let y = ref title_offset in
+  List.iter
+    (fun (name, schedule) ->
+      let consumed = draw_panel buf options ~y0:!y ~subtitle:(Some name) seq schedule in
+      y := !y + consumed + 8)
+    panels;
+  document options ~height:!y (Buffer.contents buf)
+
+let write ~filename svg =
+  let oc = open_out filename in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc svg)

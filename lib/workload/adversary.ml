@@ -1,0 +1,50 @@
+open Dcache_core
+
+let sequence_of_gaps ~m servers_and_gaps =
+  let clock = ref 0.0 in
+  let requests =
+    List.map
+      (fun (server, gap) ->
+        clock := !clock +. gap;
+        Request.make ~server ~time:!clock)
+      servers_and_gaps
+  in
+  Sequence.create_exn ~m (Array.of_list requests)
+
+let check ~m ~n =
+  if m < 2 then invalid_arg "Adversary: need at least 2 servers";
+  if n < 1 then invalid_arg "Adversary: need at least 1 request"
+
+let expiry_chaser model ~m ~n =
+  check ~m ~n;
+  let gap = Cost_model.delta_t model *. 1.001 in
+  sequence_of_gaps ~m (List.init n (fun i -> ((i + 1) mod m, gap)))
+
+let window_edge model ~m ~n =
+  check ~m ~n;
+  let gap = Cost_model.delta_t model in
+  sequence_of_gaps ~m (List.init n (fun i -> (((i mod 2) + 1) mod m, gap)))
+
+let burst_train model ~m ~n =
+  check ~m ~n;
+  let delta_t = Cost_model.delta_t model in
+  let burst_gap = delta_t /. (float_of_int m *. 100.0) in
+  let silence = 3.0 *. delta_t in
+  sequence_of_gaps ~m
+    (List.init n (fun i ->
+         let server = i mod m in
+         let gap = if server = 0 then silence else burst_gap in
+         (server, gap)))
+
+let ping_pong_far model ~m ~n =
+  check ~m ~n;
+  let gap = 2.0 *. Cost_model.delta_t model in
+  sequence_of_gaps ~m (List.init n (fun i -> (((i mod 2) + 1) mod m, gap)))
+
+let all model ~m ~n =
+  [
+    ("expiry-chaser", expiry_chaser model ~m ~n);
+    ("window-edge", window_edge model ~m ~n);
+    ("burst-train", burst_train model ~m ~n);
+    ("ping-pong-far", ping_pong_far model ~m ~n);
+  ]

@@ -1,0 +1,23 @@
+(** Arrival processes: when requests happen.
+
+    All processes yield strictly increasing positive times, suitable
+    for {!Dcache_core.Sequence.create}. *)
+
+type t =
+  | Uniform of { gap : float }
+      (** fixed spacing [gap] between consecutive requests *)
+  | Poisson of { rate : float }
+      (** exponential inter-arrival times with the given rate *)
+  | Pareto of { shape : float; scale : float }
+      (** heavy-tailed inter-arrivals: long quiet periods broken by
+          dense bursts, the "bursty" regime of mobile services *)
+  | Periodic of { base_rate : float; peak_rate : float; period : float }
+      (** non-homogeneous Poisson with a sinusoidal rate between
+          [base_rate] and [peak_rate] over each [period] — the
+          day/night cycle of a user-facing service (simulated by
+          thinning) *)
+
+val generate : Dcache_prelude.Rng.t -> t -> n:int -> float array
+(** [n] strictly increasing times starting after [0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+open Dcache_core
+
+let to_string seq =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "server,time\n";
+  for i = 1 to Sequence.n seq do
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%.17g\n" (Sequence.server seq i) (Sequence.time seq i))
+  done;
+  Buffer.contents buf
+
+let write ~filename seq =
+  let oc = open_out filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string seq))
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' || String.lowercase_ascii line = "server,time" then Ok None
+  else
+    match String.split_on_char ',' line with
+    | [ server; time ] -> (
+        match (int_of_string_opt (String.trim server), float_of_string_opt (String.trim time)) with
+        | Some server, Some time -> Ok (Some (server, time))
+        | _ -> Error (Printf.sprintf "line %d: cannot parse %S" lineno line))
+    | _ -> Error (Printf.sprintf "line %d: expected 'server,time', got %S" lineno line)
+
+let of_string ~m text =
+  let lines = String.split_on_char '\n' text in
+  let rec collect lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok None -> collect (lineno + 1) acc rest
+        | Ok (Some pair) -> collect (lineno + 1) (pair :: acc) rest
+        | Error _ as e -> e)
+  in
+  match collect 1 [] lines with
+  | Error _ as e -> e
+  | Ok pairs -> (
+      match
+        Sequence.create ~m
+          (Array.of_list (List.map (fun (server, time) -> Request.make ~server ~time) pairs))
+      with
+      | Ok seq -> Ok seq
+      | Error msg -> Error msg
+      | exception Invalid_argument msg -> Error msg)
+
+let read ~filename ~m =
+  let ic = open_in filename in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      of_string ~m text)

@@ -1,0 +1,18 @@
+open Dcache_core
+
+(** CSV trace import/export.
+
+    Format: one request per line, [server,time], with an optional
+    one-line [server,time] header and [#] comment lines.  Times must
+    be strictly increasing and positive; servers are 0-based.  Lets
+    users replay real service logs through every algorithm in the
+    repository. *)
+
+val write : filename:string -> Sequence.t -> unit
+
+val to_string : Sequence.t -> string
+
+val read : filename:string -> m:int -> (Sequence.t, string) result
+(** [m] must cover every server index in the file. *)
+
+val of_string : m:int -> string -> (Sequence.t, string) result

@@ -1,0 +1,83 @@
+(* Shared test utilities: tolerant float checks and qcheck generators
+   for instances and cost models. *)
+
+open Dcache_core
+
+let approx = Dcache_prelude.Float_cmp.approx_eq
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (approx ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+let check_le msg a b =
+  if not (Dcache_prelude.Float_cmp.approx_le a b) then
+    Alcotest.failf "%s: %.12g should be <= %.12g" msg a b
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* ---------------------------------------------------- random instances *)
+
+let sequence_of_gen ~m ~n gaps servers =
+  let clock = ref 0.0 in
+  let requests =
+    Array.init n (fun i ->
+        clock := !clock +. gaps.(i);
+        Request.make ~server:(servers.(i) mod m) ~time:!clock)
+  in
+  Sequence.create_exn ~m requests
+
+(* A generated problem: instance plus cost model. *)
+type problem = { model : Cost_model.t; seq : Sequence.t }
+
+let problem_print { model; seq } =
+  Format.asprintf "%a with %a" Sequence.pp seq Cost_model.pp model
+
+let problem_gen ?(max_m = 6) ?(max_n = 18) ?(with_upload = false) () =
+  let open QCheck.Gen in
+  let* m = int_range 1 max_m in
+  let* n = int_range 0 max_n in
+  let* gaps = array_size (return n) (float_range 0.01 3.0) in
+  let* servers = array_size (return n) (int_range 0 (max_m - 1)) in
+  let* mu = float_range 0.1 4.0 in
+  let* lambda = float_range 0.1 4.0 in
+  let* upload =
+    if with_upload then
+      oneof [ return infinity; float_range 0.1 4.0 ]
+    else return infinity
+  in
+  return
+    {
+      model = Cost_model.make ~upload ~mu ~lambda ();
+      seq = sequence_of_gen ~m ~n gaps servers;
+    }
+
+let problem_arbitrary ?max_m ?max_n ?with_upload () =
+  QCheck.make ~print:problem_print (problem_gen ?max_m ?max_n ?with_upload ())
+
+(* Non-empty variant for tests that need at least one request. *)
+let nonempty_problem_arbitrary ?(max_m = 6) ?(max_n = 18) ?with_upload () =
+  let gen =
+    QCheck.Gen.(
+      problem_gen ~max_m ~max_n ?with_upload () >>= fun p ->
+      if Sequence.n p.seq = 0 then
+        let+ gap = float_range 0.01 3.0 and+ server = int_range 0 (max_m - 1) in
+        {
+          p with
+          seq =
+            Sequence.create_exn ~m:(Sequence.m p.seq)
+              [| Request.make ~server:(server mod Sequence.m p.seq) ~time:gap |];
+        }
+      else QCheck.Gen.return p)
+  in
+  QCheck.make ~print:problem_print gen
+
+let qcheck ?(count = 300) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* Deterministic mini-instances used across suites. *)
+let fig6 () =
+  Sequence.of_list ~m:4
+    [ (1, 0.5); (2, 0.8); (3, 1.1); (0, 1.4); (1, 2.6); (1, 3.2); (2, 4.0); (3, 4.4) ]
+
+let fig2 () =
+  Sequence.of_list ~m:3 [ (1, 1.2); (0, 1.4); (2, 1.6); (1, 3.1); (0, 3.15); (2, 3.2) ]

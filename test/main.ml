@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "dcache"
+    [
+      ("prelude", Test_prelude.suite);
+      ("core-types", Test_core_types.suite);
+      ("offline-dp", Test_offline.suite);
+      ("online-sc", Test_online.suite);
+      ("baselines", Test_baselines.suite);
+      ("spacetime", Test_spacetime.suite);
+      ("simulation", Test_simulation.suite);
+      ("workload", Test_workload.suite);
+      ("hetero", Test_hetero.suite);
+      ("multi-item", Test_multi.suite);
+      ("predictive", Test_predictive.suite);
+      ("streaming", Test_streaming.suite);
+      ("viz", Test_viz.suite);
+      ("invariants", Test_invariants.suite);
+    ]

@@ -1,0 +1,313 @@
+(* Tests for the online Speculative Caching algorithm (Contribution 2)
+   and the Double-Transfer analysis machinery. *)
+
+open Dcache_core
+open Helpers
+
+let unit = Cost_model.unit
+
+let opt model seq = Offline_dp.cost (Offline_dp.solve model seq)
+
+(* --------------------------------------------------------- basic serving *)
+
+let serves_within_window_by_cache () =
+  (* second request on the same server within lambda/mu of the first *)
+  let seq = Sequence.of_list ~m:2 [ (1, 1.0); (1, 1.8) ] in
+  let run = Online_sc.run unit seq in
+  (match run.serves.(1) with
+  | Online_sc.By_transfer 0 -> ()
+  | _ -> Alcotest.fail "r1 should be a transfer from s0");
+  (match run.serves.(2) with
+  | Online_sc.By_cache -> ()
+  | _ -> Alcotest.fail "r2 arrives inside the window: cache");
+  Alcotest.(check int) "one transfer" 1 run.num_transfers
+
+let window_boundary_is_closed () =
+  (* the paper's window is the closed interval [t, t + delta_t] *)
+  let seq = Sequence.of_list ~m:2 [ (1, 1.0); (1, 2.0) ] in
+  let run = Online_sc.run unit seq in
+  match run.serves.(2) with
+  | Online_sc.By_cache -> ()
+  | _ -> Alcotest.fail "arrival exactly at expiry must still hit"
+
+let expired_copy_forces_transfer () =
+  let seq = Sequence.of_list ~m:3 [ (1, 1.0); (2, 1.5); (1, 4.0) ] in
+  let run = Online_sc.run unit seq in
+  match run.serves.(3) with
+  | Online_sc.By_transfer src -> Alcotest.(check int) "from the most recent copy (s2)" 2 src
+  | Online_sc.By_cache -> Alcotest.fail "copy on s1 expired at 2.0, r3 at 4.0 must transfer"
+
+let transfer_source_is_previous_request_server () =
+  let seq = Sequence.of_list ~m:4 [ (1, 1.0); (2, 5.0); (3, 9.0) ] in
+  let run = Online_sc.run unit seq in
+  (match run.serves.(2) with
+  | Online_sc.By_transfer 1 -> ()
+  | _ -> Alcotest.fail "source must be s1 (r1's server)");
+  match run.serves.(3) with
+  | Online_sc.By_transfer 2 -> ()
+  | _ -> Alcotest.fail "source must be s2 (r2's server)"
+
+let last_copy_survives_long_gaps () =
+  (* a single copy must never disappear, however long the silence *)
+  let seq = Sequence.of_list ~m:2 [ (1, 1.0); (0, 1000.0) ] in
+  let run = Online_sc.run unit seq in
+  (match run.serves.(2) with
+  | Online_sc.By_transfer 1 -> ()
+  | _ -> Alcotest.fail "served from the surviving last copy on s1");
+  (* cost: bridge caching is charged in full *)
+  Alcotest.(check bool) "bridge caching accounted" true (run.caching_cost > 999.0)
+
+let observation4_same_server_case () =
+  (* t_{p'(i)} = t_{i-1} on the same server: even past the window, the
+     local copy was the most recent and is served locally *)
+  let seq = Sequence.of_list ~m:2 [ (1, 1.0); (1, 10.0) ] in
+  let run = Online_sc.run unit seq in
+  match run.serves.(2) with
+  | Online_sc.By_cache -> ()
+  | _ -> Alcotest.fail "Observation 4 case 2b: local extended copy serves"
+
+(* ------------------------------------------------------ cost accounting *)
+
+let cost_single_transfer_trace () =
+  (* initial copy on s0; r1 on s1 at t=1; horizon 1.0.
+     SC: cache s0 [0,1] (cost 1), transfer (1), copy s1 truncated at
+     horizon (0).  Wait: s0 is refreshed as source at t=1 but also
+     truncated.  Total = 1 + 1. *)
+  let seq = Sequence.of_list ~m:2 [ (1, 1.0) ] in
+  let run = Online_sc.run unit seq in
+  check_float "caching" 1.0 run.caching_cost;
+  check_float "transfer" 1.0 run.transfer_cost;
+  check_float "total" 2.0 run.total_cost
+
+let cost_speculative_tail_charged () =
+  (* copy on s1 expires unused before r2 far away: its full window is
+     paid.  trace: r1 (s1, 1.0), r2 (s0, 5.0).
+     s0: [0, 5.0] alive the whole time? s0 expires at 1+1=2 (refreshed
+     as source at 1.0) -> pair with s1 at 2.0, target s1 survives,
+     s0 dies at 2.0.  s1 extended till r2, refreshed as source at 5.0.
+     caching: s0 [0,2] = 2; s1 [1,5] = 4; total 6 + 2 transfers. *)
+  let seq = Sequence.of_list ~m:2 [ (1, 1.0); (0, 5.0) ] in
+  let run = Online_sc.run unit seq in
+  check_float "caching" 6.0 run.caching_cost;
+  Alcotest.(check int) "transfers" 2 run.num_transfers;
+  check_float "total" 8.0 run.total_cost
+
+let segments_partition_caching_cost =
+  qcheck ~count:300 "online: segment durations sum to the caching cost"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run model seq in
+      let total =
+        List.fold_left
+          (fun acc (s : Online_sc.segment) ->
+            acc +. (model.Cost_model.mu *. (s.deactivated -. s.activated)))
+          0.0 run.segments
+      in
+      approx ~eps:1e-6 total run.caching_cost)
+
+let tails_bounded_by_window =
+  qcheck ~count:300 "online: every speculative tail is at most the window (omega <= lambda)"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run model seq in
+      let delta_t = Cost_model.delta_t model in
+      List.for_all (fun (s : Online_sc.segment) -> s.tail <= delta_t +. 1e-9) run.segments)
+
+let schedule_of_run_valid =
+  qcheck ~count:300 "online: the SC run renders to a feasible schedule of equal cost"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run model seq in
+      let sched = Online_sc.schedule_of_run seq run in
+      (match Schedule.validate seq sched with Ok () -> true | Error _ -> false)
+      && approx ~eps:1e-6 (Schedule.cost model sched) run.total_cost)
+
+(* ------------------------------------------------------- competitiveness *)
+
+let three_competitive_random =
+  qcheck ~count:400 "online: Pi(SC) <= 3 Pi(OPT) on random instances (Theorem 3)"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run model seq in
+      Dcache_prelude.Float_cmp.approx_le run.total_cost
+        (Online_sc.competitive_bound *. opt model seq))
+
+let three_competitive_adversarial () =
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+  List.iter
+    (fun (name, seq) ->
+      let run = Online_sc.run model seq in
+      let ratio = run.total_cost /. opt model seq in
+      if ratio > 3.0 +. 1e-9 then Alcotest.failf "%s: ratio %.4f exceeds 3" name ratio)
+    (Dcache_workload.Adversary.all model ~m:5 ~n:300)
+
+let three_competitive_with_epochs =
+  qcheck ~count:200 "online: the bound also holds with small epochs"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run ~epoch_size:3 model seq in
+      Dcache_prelude.Float_cmp.approx_le run.total_cost
+        (Online_sc.competitive_bound *. opt model seq))
+
+let sc_at_least_opt =
+  qcheck ~count:300 "online: SC never beats the offline optimum"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      Dcache_prelude.Float_cmp.approx_ge (Online_sc.run model seq).total_cost (opt model seq))
+
+(* ---------------------------------------------------------------- epochs *)
+
+let epoch_reset_drops_copies () =
+  let model, seq = ( Cost_model.unit,
+                     Sequence.of_list ~m:3 [ (1, 0.5); (2, 0.7); (1, 0.9) ] ) in
+  let with_epochs = Online_sc.run ~epoch_size:2 ~record_events:true model seq in
+  Alcotest.(check bool) "a reset happened" true
+    (List.exists
+       (function Online_sc.Epoch_reset _ -> true | _ -> false)
+       with_epochs.events);
+  Alcotest.(check int) "epoch count" 2 with_epochs.num_epochs
+
+let epoching_never_cheaper_than_unbounded () =
+  (* resetting throws copies away; on a trace that reuses them the
+     single-epoch run should not cost more *)
+  let model = Cost_model.unit in
+  let seq =
+    Sequence.of_list ~m:3 [ (1, 0.5); (2, 0.7); (1, 0.9); (2, 1.1); (1, 1.3); (2, 1.5) ]
+  in
+  let unbounded = Online_sc.run model seq in
+  let epoched = Online_sc.run ~epoch_size:1 model seq in
+  check_le "unbounded <= epoch-1" unbounded.total_cost epoched.total_cost
+
+let rejects_bad_arguments () =
+  let seq = Sequence.of_list ~m:2 [ (1, 1.0) ] in
+  Alcotest.(check bool) "epoch_size 0" true
+    (try ignore (Online_sc.run ~epoch_size:0 unit seq); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "window 0" true
+    (try ignore (Online_sc.run ~window:0.0 unit seq); false with Invalid_argument _ -> true)
+
+let window_override_changes_behaviour () =
+  let seq = Sequence.of_list ~m:2 [ (1, 1.0); (1, 2.5) ] in
+  (* default window 1.0: r2 misses; window 2.0: r2 hits *)
+  let narrow = Online_sc.run unit seq in
+  let wide = Online_sc.run ~window:2.0 unit seq in
+  Alcotest.(check int) "narrow window: 1 transfer... plus re-transfer" 1 narrow.num_transfers;
+  (match wide.serves.(2) with
+  | Online_sc.By_cache -> ()
+  | _ -> Alcotest.fail "wide window should hit");
+  ()
+
+(* ---------------------------------------------------- double transfer *)
+
+let dt_cost_equality =
+  qcheck ~count:300 "DT: Pi(DT) = Pi(SC) (Definition 10)" (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run model seq in
+      let dt = Double_transfer.of_run model run in
+      approx ~eps:1e-6 dt.dt_cost dt.sc_cost)
+
+let dt_weights_bounded =
+  qcheck ~count:300 "DT: every folded transfer weight is in [lambda, 2 lambda]"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run model seq in
+      let dt = Double_transfer.of_run model run in
+      List.for_all
+        (fun (w : Double_transfer.weighted_transfer) ->
+          w.weight >= model.Cost_model.lambda -. 1e-9
+          && w.weight <= (2.0 *. model.Cost_model.lambda) +. 1e-9)
+        dt.transfers)
+
+let dt_transfer_count_matches =
+  qcheck ~count:200 "DT: one weighted transfer per SC transfer"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run model seq in
+      let dt = Double_transfer.of_run model run in
+      List.length dt.transfers = run.num_transfers)
+
+let reduction_chain =
+  qcheck ~count:300 "DT: the Theorem 3 chain (reductions, Lemmas 7-8) holds"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let run = Online_sc.run model seq in
+      Double_transfer.theorem3_holds model seq run ~opt_cost:(opt model seq))
+
+let reduction_amounts_nonnegative =
+  qcheck ~count:200 "DT: reduction amounts are non-negative and n' <= n"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let red =
+        Double_transfer.reduce model seq ~sc_cost:(Online_sc.run model seq).total_cost
+          ~opt_cost:(opt model seq)
+      in
+      red.v_amount >= 0.0 && red.h_amount >= 0.0 && red.n' >= 0 && red.n' <= Sequence.n seq)
+
+let lemma5_single_cacher_on_wide_gaps =
+  qcheck ~count:200 "DT/Lemma 5: on gaps wider than the window, OPT caches exactly one copy"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let sched = Offline_dp.schedule (Offline_dp.solve model seq) in
+      let delta_t = Cost_model.delta_t model in
+      let ok = ref true in
+      for i = 1 to Sequence.n seq do
+        let a = Sequence.time seq (i - 1) and b = Sequence.time seq i in
+        if b -. a > delta_t +. 1e-9 then begin
+          let midpoint = (a +. b) /. 2.0 in
+          if Schedule.num_copies_at sched midpoint <> 1 then ok := false
+        end
+      done;
+      !ok)
+
+let lemma6_short_intervals_cached =
+  qcheck ~count:200
+    "DT/Lemma 6: requests with mu*sigma < lambda are served by their own cache in OPT"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let sched = Offline_dp.schedule (Offline_dp.solve model seq) in
+      let ok = ref true in
+      for i = 1 to Sequence.n seq do
+        let musig = model.Cost_model.mu *. Sequence.sigma seq i in
+        if musig < model.Cost_model.lambda -. 1e-9 then begin
+          let p = Sequence.prev_same_server seq i in
+          let covered =
+            List.exists
+              (fun c ->
+                c.Schedule.server = Sequence.server seq i
+                && Dcache_prelude.Float_cmp.approx_le c.Schedule.from_time (Sequence.time seq p)
+                && Dcache_prelude.Float_cmp.approx_ge c.Schedule.to_time (Sequence.time seq i))
+              (Schedule.caches sched)
+          in
+          if not covered then ok := false
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    case "sc: within-window request served by cache" serves_within_window_by_cache;
+    case "sc: window boundary is closed" window_boundary_is_closed;
+    case "sc: expired copy forces a transfer" expired_copy_forces_transfer;
+    case "sc: transfer source is r_{i-1}'s server" transfer_source_is_previous_request_server;
+    case "sc: last copy survives arbitrarily long gaps" last_copy_survives_long_gaps;
+    case "sc: Observation 4, same-server extended copy" observation4_same_server_case;
+    case "sc: cost of a single-transfer trace" cost_single_transfer_trace;
+    case "sc: speculative tails are charged" cost_speculative_tail_charged;
+    segments_partition_caching_cost;
+    tails_bounded_by_window;
+    schedule_of_run_valid;
+    three_competitive_random;
+    case "sc: 3-competitive on adversarial families" three_competitive_adversarial;
+    three_competitive_with_epochs;
+    sc_at_least_opt;
+    case "sc: epoch reset drops foreign copies" epoch_reset_drops_copies;
+    case "sc: tiny epochs never help" epoching_never_cheaper_than_unbounded;
+    case "sc: rejects bad arguments" rejects_bad_arguments;
+    case "sc: window override changes serving" window_override_changes_behaviour;
+    dt_cost_equality;
+    dt_weights_bounded;
+    dt_transfer_count_matches;
+    reduction_chain;
+    reduction_amounts_nonnegative;
+    lemma5_single_cacher_on_wide_gaps;
+    lemma6_short_intervals_cached;
+  ]

@@ -1,0 +1,251 @@
+(* Tests for the streaming (incremental) solver and the Vec substrate
+   it is built on. *)
+
+open Dcache_core
+open Helpers
+module Vec = Dcache_prelude.Vec
+
+(* -------------------------------------------------------------- vec *)
+
+let vec_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Alcotest.(check int) "last" (99 * 99) (Vec.last v);
+  Vec.set v 7 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 7)
+
+let vec_bounds () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  List.iter
+    (fun f -> Alcotest.(check bool) "raises" true (try ignore (f ()); false with Invalid_argument _ -> true))
+    [
+      (fun () -> Vec.get v 3);
+      (fun () -> Vec.get v (-1));
+      (fun () -> Vec.set v 3 0; 0);
+      (fun () -> Vec.last (Vec.create ()));
+    ]
+
+let vec_roundtrip =
+  qcheck ~count:150 "vec: of_array/to_array roundtrip"
+    QCheck.(array small_int)
+    (fun a -> Vec.to_array (Vec.of_array a) = a)
+
+let vec_iteri () =
+  let v = Vec.of_array [| 10; 20; 30 |] in
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int))) "pairs" [ (2, 30); (1, 20); (0, 10) ] !acc;
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+(* -------------------------------------------------------- streaming *)
+
+let feed stream seq upto =
+  for i = 1 to upto do
+    Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
+  done
+
+let prefix_optima_match_batch =
+  qcheck ~count:200 "streaming: every prefix optimum equals the batch solver's"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let stream = Streaming_dp.create model ~m:(Sequence.m seq) in
+      let ok = ref true in
+      for i = 1 to Sequence.n seq do
+        Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i);
+        let batch = Offline_dp.cost (Offline_dp.solve model (Sequence.sub seq i)) in
+        if not (approx (Streaming_dp.cost stream) batch) then ok := false
+      done;
+      !ok)
+
+let schedule_between_pushes =
+  qcheck ~count:100 "streaming: schedules requested mid-stream are feasible and optimal"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let stream = Streaming_dp.create model ~m:(Sequence.m seq) in
+      let k = max 1 (Sequence.n seq / 2) in
+      feed stream seq k;
+      let mid_sched = Streaming_dp.schedule stream in
+      let mid_ok =
+        (match Schedule.validate (Sequence.sub seq k) mid_sched with
+        | Ok () -> true
+        | Error _ -> false)
+        && approx (Schedule.cost model mid_sched) (Streaming_dp.cost stream)
+      in
+      (* pushing more afterwards must still work *)
+      for i = k + 1 to Sequence.n seq do
+        Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
+      done;
+      mid_ok && approx (Streaming_dp.cost stream) (Offline_dp.cost (Offline_dp.solve model seq)))
+
+let streaming_accessors () =
+  let model = Cost_model.unit in
+  let stream = Streaming_dp.create model ~m:4 in
+  Alcotest.(check int) "empty n" 0 (Streaming_dp.n stream);
+  check_float "empty cost" 0.0 (Streaming_dp.cost stream);
+  let seq = fig6 () in
+  feed stream seq 8;
+  Alcotest.(check int) "n" 8 (Streaming_dp.n stream);
+  check_float "C(7)" 8.9 (Streaming_dp.cost_at stream 7);
+  check_float "D(7)" 9.2 (Streaming_dp.semi_cost_at stream 7);
+  check_float "b_6" 0.6 (Streaming_dp.marginal_at stream 6);
+  check_float "B_6" 5.6 (Streaming_dp.running_at stream 6);
+  Alcotest.(check (option int)) "pivot of 7" (Some 4) (Streaming_dp.pivot_at stream 7);
+  Alcotest.(check int) "server_at" 2 (Streaming_dp.server_at stream 7);
+  check_float "time_at" 4.0 (Streaming_dp.time_at stream 7)
+
+let to_sequence_roundtrip =
+  qcheck ~count:100 "streaming: to_sequence returns exactly what was pushed"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let stream = Streaming_dp.create model ~m:(Sequence.m seq) in
+      feed stream seq (Sequence.n seq);
+      Sequence.requests (Streaming_dp.to_sequence stream) = Sequence.requests seq)
+
+let push_validation () =
+  let stream = Streaming_dp.create Cost_model.unit ~m:2 in
+  Streaming_dp.push stream ~server:1 ~time:1.0;
+  List.iter
+    (fun f -> Alcotest.(check bool) "rejected" true (try f (); false with Invalid_argument _ -> true))
+    [
+      (fun () -> Streaming_dp.push stream ~server:2 ~time:2.0);
+      (fun () -> Streaming_dp.push stream ~server:(-1) ~time:2.0);
+      (fun () -> Streaming_dp.push stream ~server:0 ~time:1.0);
+      (fun () -> Streaming_dp.push stream ~server:0 ~time:0.5);
+      (fun () -> Streaming_dp.push stream ~server:0 ~time:nan);
+    ];
+  (* the failed pushes must not have corrupted the solver *)
+  Streaming_dp.push stream ~server:0 ~time:2.0;
+  Alcotest.(check int) "still consistent" 2 (Streaming_dp.n stream)
+
+let create_validation () =
+  Alcotest.(check bool) "m = 0" true
+    (try ignore (Streaming_dp.create Cost_model.unit ~m:0); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------- metamorphic properties *)
+
+let insertion_monotone =
+  qcheck ~count:150 "metamorphic: serving one more request never costs less"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      (* drop a random-ish middle request and compare *)
+      let n = Sequence.n seq in
+      let drop = 1 + (n / 2) in
+      let smaller =
+        Sequence.create_exn ~m:(Sequence.m seq)
+          (Array.of_list
+             (List.filteri (fun i _ -> i + 1 <> drop) (Array.to_list (Sequence.requests seq))))
+      in
+      Dcache_prelude.Float_cmp.approx_le
+        (Offline_dp.cost (Offline_dp.solve model smaller))
+        (Offline_dp.cost (Offline_dp.solve model seq)))
+
+let time_scale_invariance =
+  qcheck ~count:150 "metamorphic: stretching time while shrinking mu preserves the optimum"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let factor = 3.0 in
+      let stretched =
+        Sequence.create_exn ~m:(Sequence.m seq)
+          (Array.map
+             (fun r -> { r with Request.time = r.Request.time *. factor })
+             (Sequence.requests seq))
+      in
+      let rescaled =
+        Cost_model.make ~mu:(model.Cost_model.mu /. factor) ~lambda:model.Cost_model.lambda ()
+      in
+      approx ~eps:1e-6
+        (Offline_dp.cost (Offline_dp.solve model seq))
+        (Offline_dp.cost (Offline_dp.solve rescaled stretched)))
+
+let server_relabel_invariance =
+  qcheck ~count:150 "metamorphic: permuting non-initial server labels preserves the optimum"
+    (nonempty_problem_arbitrary ())
+    (fun { model; seq } ->
+      let m = Sequence.m seq in
+      (* rotate labels 1..m-1, keeping the initial holder fixed *)
+      let relabel s = if s = 0 then 0 else 1 + ((s - 1 + 1) mod (m - 1)) in
+      if m < 3 then true
+      else
+        let rotated =
+          Sequence.create_exn ~m
+            (Array.map
+               (fun r -> { r with Request.server = relabel r.Request.server })
+               (Sequence.requests seq))
+        in
+        approx ~eps:1e-6
+          (Offline_dp.cost (Offline_dp.solve model seq))
+          (Offline_dp.cost (Offline_dp.solve model rotated)))
+
+let exchange_local_optimality =
+  qcheck ~count:80 "metamorphic: no cache interval of OPT can be swapped for a transfer"
+    (nonempty_problem_arbitrary ~max_n:10 ())
+    (fun { model; seq } ->
+      (* removing any single cache interval that ends at a request and
+         serving that request by a transfer instead must not beat OPT
+         (it cannot, since OPT is optimal — we rebuild the mutated
+         schedule and check it is never cheaper while feasible) *)
+      let opt = Offline_dp.cost (Offline_dp.solve model seq) in
+      let sched = Offline_dp.schedule (Offline_dp.solve model seq) in
+      List.for_all
+        (fun piece ->
+          let others = List.filter (fun c -> c <> piece) (Schedule.caches sched) in
+          let served_requests =
+            List.filter
+              (fun i ->
+                Sequence.server seq i = piece.Schedule.server
+                && approx (Sequence.time seq i) piece.Schedule.to_time)
+              (List.init (Sequence.n seq) (fun i -> i + 1))
+          in
+          match served_requests with
+          | [ i ] -> (
+              (* try to serve r_i by a transfer from any other cacher *)
+              let ti = Sequence.time seq i in
+              let source =
+                List.find_opt
+                  (fun c ->
+                    c.Schedule.server <> piece.Schedule.server
+                    && c.Schedule.from_time <= ti && ti <= c.Schedule.to_time)
+                  others
+              in
+              match source with
+              | None -> true (* no feasible mutation *)
+              | Some src ->
+                  let mutated =
+                    Schedule.make ~caches:others
+                      ~transfers:
+                        ({ Schedule.src = Schedule.From_server src.Schedule.server;
+                           dst = piece.Schedule.server;
+                           time = ti;
+                         }
+                        :: Schedule.transfers sched)
+                  in
+                  (match Schedule.validate seq mutated with
+                  | Ok () -> Schedule.cost model mutated >= opt -. 1e-9
+                  | Error _ -> true))
+          | _ -> true)
+        (Schedule.caches sched))
+
+let suite =
+  [
+    case "vec: push/get/set/last" vec_push_get;
+    case "vec: bounds checking" vec_bounds;
+    vec_roundtrip;
+    case "vec: iteri and clear" vec_iteri;
+    prefix_optima_match_batch;
+    schedule_between_pushes;
+    case "streaming: accessors on fig6" streaming_accessors;
+    to_sequence_roundtrip;
+    case "streaming: push validation" push_validation;
+    case "streaming: create validation" create_validation;
+    insertion_monotone;
+    time_scale_invariance;
+    server_relabel_invariance;
+    exchange_local_optimality;
+  ]

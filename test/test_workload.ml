@@ -1,0 +1,324 @@
+(* Tests for the workload generators and trace I/O. *)
+
+open Dcache_core
+open Helpers
+module W = Dcache_workload
+
+let rng () = Dcache_prelude.Rng.create 20250704
+
+(* --------------------------------------------------------------- arrival *)
+
+let arrivals_strictly_increasing () =
+  List.iter
+    (fun arrival ->
+      let times = W.Arrival.generate (rng ()) arrival ~n:500 in
+      Alcotest.(check int) "length" 500 (Array.length times);
+      Alcotest.(check bool) "positive start" true (times.(0) > 0.);
+      for i = 1 to 499 do
+        if times.(i) <= times.(i - 1) then Alcotest.fail "times must strictly increase"
+      done)
+    [
+      W.Arrival.Uniform { gap = 0.5 };
+      W.Arrival.Poisson { rate = 2.0 };
+      W.Arrival.Pareto { shape = 1.5; scale = 0.1 };
+    ]
+
+let uniform_arrival_exact () =
+  let times = W.Arrival.generate (rng ()) (W.Arrival.Uniform { gap = 0.25 }) ~n:4 in
+  Alcotest.(check (array (float 1e-9))) "grid" [| 0.25; 0.5; 0.75; 1.0 |] times
+
+let poisson_rate_controls_density () =
+  let fast = W.Arrival.generate (rng ()) (W.Arrival.Poisson { rate = 10.0 }) ~n:2000 in
+  let slow = W.Arrival.generate (rng ()) (W.Arrival.Poisson { rate = 1.0 }) ~n:2000 in
+  Alcotest.(check bool) "rate 10 is ~10x denser" true
+    (slow.(1999) > 5.0 *. fast.(1999))
+
+let arrival_rejects_bad_params () =
+  Alcotest.(check bool) "zero gap" true
+    (try ignore (W.Arrival.generate (rng ()) (W.Arrival.Uniform { gap = 0.0 }) ~n:3); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative n" true
+    (try ignore (W.Arrival.generate (rng ()) (W.Arrival.Poisson { rate = 1.0 }) ~n:(-1)); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------- placement *)
+
+let placements_in_range () =
+  List.iter
+    (fun placement ->
+      let servers = W.Placement.generate (rng ()) placement ~m:5 ~n:400 in
+      Array.iter (fun s -> if s < 0 || s >= 5 then Alcotest.failf "server %d out of range" s) servers)
+    [
+      W.Placement.Uniform_random;
+      W.Placement.Zipf { exponent = 1.2 };
+      W.Placement.Mobility { stay = 0.8; ring = true };
+      W.Placement.Mobility { stay = 0.3; ring = false };
+      W.Placement.Round_robin;
+    ]
+
+let zipf_skews_towards_low_ranks () =
+  let servers = W.Placement.generate (rng ()) (W.Placement.Zipf { exponent = 1.5 }) ~m:6 ~n:6000 in
+  let counts = Array.make 6 0 in
+  Array.iter (fun s -> counts.(s) <- counts.(s) + 1) servers;
+  Alcotest.(check bool) "rank 0 dominates rank 5" true (counts.(0) > 3 * counts.(5));
+  Alcotest.(check bool) "rank 0 > rank 1" true (counts.(0) > counts.(1))
+
+let zipf_zero_exponent_is_uniform () =
+  let servers = W.Placement.generate (rng ()) (W.Placement.Zipf { exponent = 0.0 }) ~m:4 ~n:8000 in
+  let counts = Array.make 4 0 in
+  Array.iter (fun s -> counts.(s) <- counts.(s) + 1) servers;
+  Array.iter
+    (fun c ->
+      if abs (c - 2000) > 300 then Alcotest.failf "not uniform: %d" c)
+    counts
+
+let mobility_high_stay_is_sticky () =
+  let servers =
+    W.Placement.generate (rng ()) (W.Placement.Mobility { stay = 0.95; ring = true }) ~m:8 ~n:4000
+  in
+  let stays = ref 0 in
+  for i = 1 to 3999 do
+    if servers.(i) = servers.(i - 1) then incr stays
+  done;
+  Alcotest.(check bool) "~95% stays" true (!stays > 3600)
+
+let mobility_ring_moves_are_adjacent () =
+  let m = 8 in
+  let servers =
+    W.Placement.generate (rng ()) (W.Placement.Mobility { stay = 0.2; ring = true }) ~m ~n:2000
+  in
+  for i = 1 to 1999 do
+    let d = abs (servers.(i) - servers.(i - 1)) in
+    if not (d = 0 || d = 1 || d = m - 1) then
+      Alcotest.failf "non-adjacent hop %d -> %d" servers.(i - 1) servers.(i)
+  done
+
+let round_robin_cycles () =
+  let servers = W.Placement.generate (rng ()) W.Placement.Round_robin ~m:3 ~n:7 in
+  Alcotest.(check (array int)) "cycle" [| 0; 1; 2; 0; 1; 2; 0 |] servers
+
+let single_server_mobility () =
+  (* m = 1 must not loop or crash *)
+  let servers = W.Placement.generate (rng ()) (W.Placement.Mobility { stay = 0.0; ring = false }) ~m:1 ~n:50 in
+  Array.iter (fun s -> Alcotest.(check int) "only server 0" 0 s) servers
+
+let periodic_arrival_valid () =
+  let times =
+    W.Arrival.generate (rng ()) (W.Arrival.Periodic { base_rate = 0.5; peak_rate = 5.0; period = 10.0 }) ~n:800
+  in
+  Alcotest.(check int) "length" 800 (Array.length times);
+  for i = 1 to 799 do
+    if times.(i) <= times.(i - 1) then Alcotest.fail "strictly increasing"
+  done;
+  (* the long-run rate must sit strictly between base and peak *)
+  let mean_rate = 800.0 /. times.(799) in
+  Alcotest.(check bool) "rate between base and peak" true (mean_rate > 0.5 && mean_rate < 5.0)
+
+let periodic_rejects_bad_rates () =
+  Alcotest.(check bool) "peak < base" true
+    (try
+       ignore
+         (W.Arrival.generate (rng ())
+            (W.Arrival.Periodic { base_rate = 2.0; peak_rate = 1.0; period = 5.0 })
+            ~n:3);
+       false
+     with Invalid_argument _ -> true)
+
+let multi_user_in_range_and_local () =
+  let servers =
+    W.Placement.generate (rng ()) (W.Placement.Multi_user { users = 3; stay = 0.9; ring = true })
+      ~m:9 ~n:3000
+  in
+  Array.iter (fun s -> if s < 0 || s >= 9 then Alcotest.failf "out of range %d" s) servers;
+  (* with 3 sticky users the trace should still visit several cells *)
+  let distinct = List.sort_uniq compare (Array.to_list servers) in
+  Alcotest.(check bool) "several cells visited" true (List.length distinct >= 3)
+
+let multi_user_one_user_is_mobility_like () =
+  (* a single walker must be exactly as sticky as plain mobility *)
+  let servers =
+    W.Placement.generate (rng ()) (W.Placement.Multi_user { users = 1; stay = 1.0; ring = true })
+      ~m:5 ~n:100
+  in
+  Array.iter (fun s -> Alcotest.(check int) "never moves" servers.(0) s) servers
+
+(* --------------------------------------------------------------- generator *)
+
+let generator_produces_valid_sequences =
+  qcheck ~count:60 "workload: generated instances validate as sequences"
+    QCheck.(pair (int_range 1 8) (int_range 0 80))
+    (fun (m, n) ->
+      let seq =
+        W.Generator.generate_seeded ~seed:((m * 1000) + n)
+          {
+            W.Generator.m;
+            n;
+            arrival = W.Arrival.Poisson { rate = 1.5 };
+            placement = W.Placement.Mobility { stay = 0.7; ring = true };
+          }
+      in
+      Sequence.n seq = n && Sequence.m seq = m)
+
+let generator_deterministic_in_seed () =
+  let spec =
+    {
+      W.Generator.m = 4;
+      n = 60;
+      arrival = W.Arrival.Pareto { shape = 1.3; scale = 0.2 };
+      placement = W.Placement.Zipf { exponent = 1.0 };
+    }
+  in
+  let a = W.Generator.generate_seeded ~seed:9 spec in
+  let b = W.Generator.generate_seeded ~seed:9 spec in
+  let c = W.Generator.generate_seeded ~seed:10 spec in
+  Alcotest.(check bool) "same seed, same instance" true
+    (Sequence.requests a = Sequence.requests b);
+  Alcotest.(check bool) "different seed, different instance" true
+    (Sequence.requests a <> Sequence.requests c)
+
+let standard_suite_shape () =
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+  let suite = W.Generator.standard_suite model ~m:4 ~n:50 ~seed:1 in
+  Alcotest.(check int) "eleven workloads" 11 (List.length suite);
+  List.iter
+    (fun (name, seq) ->
+      if Sequence.n seq <> 50 then Alcotest.failf "%s: wrong n" name;
+      if Sequence.m seq <> 4 then Alcotest.failf "%s: wrong m" name)
+    suite
+
+(* --------------------------------------------------------------- adversary *)
+
+let adversary_gaps () =
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+  let seq = W.Adversary.expiry_chaser model ~m:3 ~n:30 in
+  let delta_t = Cost_model.delta_t model in
+  for i = 1 to 30 do
+    let gap = Sequence.time seq i -. Sequence.time seq (i - 1) in
+    if gap <= delta_t then Alcotest.fail "expiry chaser must arrive after the window"
+  done
+
+let adversary_ping_pong_two_servers () =
+  let model = Cost_model.unit in
+  let seq = W.Adversary.ping_pong_far model ~m:4 ~n:20 in
+  for i = 3 to 20 do
+    Alcotest.(check int) "alternates with period 2" (Sequence.server seq (i - 2)) (Sequence.server seq i)
+  done
+
+let adversary_rejects_degenerate () =
+  Alcotest.(check bool) "m = 1" true
+    (try ignore (W.Adversary.expiry_chaser Cost_model.unit ~m:1 ~n:5); false
+     with Invalid_argument _ -> true)
+
+(* ---------------------------------------------------------------- trace io *)
+
+let trace_roundtrip =
+  qcheck ~count:80 "trace_io: write/read roundtrip preserves the instance"
+    (nonempty_problem_arbitrary ())
+    (fun { seq; _ } ->
+      let text = W.Trace_io.to_string seq in
+      match W.Trace_io.of_string ~m:(Sequence.m seq) text with
+      | Ok seq' -> Sequence.requests seq = Sequence.requests seq'
+      | Error _ -> false)
+
+let trace_parses_comments_and_header () =
+  let text = "# a comment\nserver,time\n0,1.5\n\n1,2.5\n" in
+  match W.Trace_io.of_string ~m:2 text with
+  | Ok seq ->
+      Alcotest.(check int) "two requests" 2 (Sequence.n seq);
+      check_float "first time" 1.5 (Sequence.time seq 1)
+  | Error e -> Alcotest.fail e
+
+let trace_rejects_garbage () =
+  let cases =
+    [
+      ("not,a,csv,line", "arity");
+      ("x,1.0", "bad server");
+      ("0,abc", "bad time");
+      ("0,2.0\n0,1.0", "non-increasing");
+      ("5,1.0", "server out of range");
+    ]
+  in
+  List.iter
+    (fun (text, what) ->
+      match W.Trace_io.of_string ~m:3 text with
+      | Ok _ -> Alcotest.failf "%s accepted" what
+      | Error _ -> ())
+    cases
+
+let trace_file_roundtrip () =
+  let seq = fig6 () in
+  let filename = Filename.temp_file "dcache" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove filename)
+    (fun () ->
+      W.Trace_io.write ~filename seq;
+      match W.Trace_io.read ~filename ~m:4 with
+      | Ok seq' ->
+          Alcotest.(check bool) "roundtrip" true (Sequence.requests seq = Sequence.requests seq')
+      | Error e -> Alcotest.fail e)
+
+(* ------------------------------------------------------- ratio search *)
+
+let ratio_search_respects_bound () =
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+  let rng = Dcache_prelude.Rng.create 99 in
+  let best = W.Ratio_search.search ~restarts:2 ~steps:300 ~rng ~m:3 ~n:15 model in
+  Alcotest.(check bool) "ratio within the proven bound" true (best.ratio <= 3.0 +. 1e-9);
+  Alcotest.(check bool) "ratio at least 1" true (best.ratio >= 1.0 -. 1e-9);
+  check_float "consistent with its own instance"
+    best.ratio
+    (W.Ratio_search.evaluate model best.seq).W.Ratio_search.ratio
+
+let ratio_search_beats_random_start () =
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+  let rng = Dcache_prelude.Rng.create 5 in
+  let best = W.Ratio_search.search ~restarts:3 ~steps:500 ~rng ~m:3 ~n:20 model in
+  (* the expiry chaser seeds the search, so the result can never be
+     worse than the best adversarial family *)
+  let chaser = W.Ratio_search.evaluate model (W.Adversary.expiry_chaser model ~m:3 ~n:20) in
+  check_le "search result >= chaser" chaser.ratio best.ratio
+
+let ratio_search_deterministic () =
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+  let a = W.Ratio_search.search ~restarts:2 ~steps:200 ~rng:(Dcache_prelude.Rng.create 1) ~m:2 ~n:10 model in
+  let b = W.Ratio_search.search ~restarts:2 ~steps:200 ~rng:(Dcache_prelude.Rng.create 1) ~m:2 ~n:10 model in
+  check_float "same seed, same result" a.ratio b.ratio
+
+let ratio_search_rejects_degenerate () =
+  let model = Cost_model.unit in
+  Alcotest.(check bool) "m = 1" true
+    (try ignore (W.Ratio_search.search ~rng:(Dcache_prelude.Rng.create 1) ~m:1 ~n:5 model); false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    case "arrival: strictly increasing times" arrivals_strictly_increasing;
+    case "arrival: uniform grid" uniform_arrival_exact;
+    case "arrival: poisson rate controls density" poisson_rate_controls_density;
+    case "arrival: rejects bad parameters" arrival_rejects_bad_params;
+    case "placement: servers in range" placements_in_range;
+    case "placement: zipf skew" zipf_skews_towards_low_ranks;
+    case "placement: zipf exponent 0 is uniform" zipf_zero_exponent_is_uniform;
+    case "placement: mobility stickiness" mobility_high_stay_is_sticky;
+    case "placement: ring moves are adjacent" mobility_ring_moves_are_adjacent;
+    case "placement: round robin cycles" round_robin_cycles;
+    case "placement: single-server mobility" single_server_mobility;
+    generator_produces_valid_sequences;
+    case "generator: deterministic in the seed" generator_deterministic_in_seed;
+    case "generator: standard suite shape" standard_suite_shape;
+    case "adversary: expiry chaser gaps exceed the window" adversary_gaps;
+    case "adversary: ping-pong alternates" adversary_ping_pong_two_servers;
+    case "adversary: rejects m = 1" adversary_rejects_degenerate;
+    trace_roundtrip;
+    case "trace_io: comments and headers" trace_parses_comments_and_header;
+    case "trace_io: rejects malformed input" trace_rejects_garbage;
+    case "trace_io: file roundtrip" trace_file_roundtrip;
+    case "ratio_search: bound and consistency" ratio_search_respects_bound;
+    case "ratio_search: never worse than its seeds" ratio_search_beats_random_start;
+    case "ratio_search: deterministic" ratio_search_deterministic;
+    case "ratio_search: rejects m = 1" ratio_search_rejects_degenerate;
+    case "arrival: periodic thinning is valid" periodic_arrival_valid;
+    case "arrival: periodic rejects bad rates" periodic_rejects_bad_rates;
+    case "placement: multi-user range and coverage" multi_user_in_range_and_local;
+    case "placement: single frozen walker" multi_user_one_user_is_mobility_like;
+  ]
