@@ -145,6 +145,7 @@ let run_group test =
   let raw = Benchmark.all cfg instances test in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  (* dcache-lint: allow R1 — fold order is immediately erased by the sort below *)
   let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   List.iter

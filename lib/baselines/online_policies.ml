@@ -72,28 +72,33 @@ let classic_lru ~capacity model seq =
     if to_time > from_time then
       caches := { Schedule.server; from_time; to_time } :: !caches
   in
+  (* total extremum over the membership list: [None] on an empty cache
+     set, which is reachable in principle once a policy variant evicts
+     every member *)
+  let extreme_by better = function
+    | [] -> None
+    | k :: rest ->
+        Some
+          (List.fold_left (fun best k' -> if better last_use.(k') last_use.(best) then k' else best) k rest)
+  in
   for i = 1 to Sequence.n seq do
     let s = Sequence.server seq i and ti = Sequence.time seq i in
     if List.mem s !members then last_use.(s) <- ti
     else begin
-      (* miss: bring the copy in from the most recently used member *)
-      let mru =
-        List.fold_left
-          (fun best k -> if last_use.(k) > last_use.(best) then k else best)
-          (List.hd !members) !members
-      in
-      transfers := transfer mru s ti :: !transfers;
+      (* miss: bring the copy in from the most recently used member,
+         or re-upload from external storage if no member holds one *)
+      (match extreme_by (fun a b -> a > b) !members with
+      | Some mru -> transfers := transfer mru s ti :: !transfers
+      | None -> transfers := { Schedule.src = Schedule.From_external; dst = s; time = ti } :: !transfers);
       members := s :: !members;
       cached_since.(s) <- ti;
       last_use.(s) <- ti;
       if List.length !members > capacity then begin
-        let lru =
-          List.fold_left
-            (fun worst k -> if last_use.(k) < last_use.(worst) then k else worst)
-            (List.hd !members) !members
-        in
-        members := List.filter (fun k -> k <> lru) !members;
-        add_cache lru cached_since.(lru) ti
+        match extreme_by (fun a b -> a < b) !members with
+        | Some lru ->
+            members := List.filter (fun k -> k <> lru) !members;
+            add_cache lru cached_since.(lru) ti
+        | None -> ()
       end
     end
   done;

@@ -166,10 +166,16 @@ let validate seq t =
   end;
   match !errors with [] -> Ok () | es -> Error (List.rev es)
 
+exception Invalid_schedule of string list
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_schedule es ->
+        Some (Printf.sprintf "Schedule.Invalid_schedule [%s]" (String.concat "; " es))
+    | _ -> None)
+
 let validate_exn seq t =
-  match validate seq t with
-  | Ok () -> ()
-  | Error es -> failwith (String.concat "; " es)
+  match validate seq t with Ok () -> () | Error es -> raise (Invalid_schedule es)
 
 let is_standard_form seq t =
   let n = Sequence.n seq in

@@ -67,8 +67,13 @@ val validate : Sequence.t -> t -> (unit, string list) result
     minimal) and caching beyond the horizon [t_n] (dead-end caches).
     Returns every violated constraint, not just the first. *)
 
+exception Invalid_schedule of string list
+(** Every violated constraint, in the order {!validate} reports
+    them. *)
+
 val validate_exn : Sequence.t -> t -> unit
-(** @raise Failure with the concatenated violations. *)
+(** @raise Invalid_schedule with the violations, so callers can catch
+    validation failures distinctly from other [Failure]s. *)
 
 val is_standard_form : Sequence.t -> t -> bool
 (** Observation 1: every transfer ends on a request, i.e. its

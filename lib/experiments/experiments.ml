@@ -390,10 +390,15 @@ let baselines ?(quick = false) () =
   let m = 6 in
   let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
   let suite = Dcache_workload.Generator.standard_suite model ~m ~n ~seed:777 in
+  let first_seq =
+    match suite with
+    | (_, seq) :: _ -> seq
+    | [] -> invalid_arg "Experiments.baselines: standard_suite returned no workloads"
+  in
   let policy_names =
     List.map
       (fun (o : Dcache_baselines.Online_policies.outcome) -> o.name)
-      (Dcache_baselines.Online_policies.all_deterministic model (snd (List.hd suite)))
+      (Dcache_baselines.Online_policies.all_deterministic model first_seq)
   in
   let t =
     Table.create

@@ -1,0 +1,4 @@
+(* lint fixture: R1 — ambient randomness breaks seed-reproducibility.
+   Parsed by the linter, never compiled. *)
+
+let roll () = Random.int 6

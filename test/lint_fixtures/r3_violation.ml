@@ -1,0 +1,3 @@
+(* lint fixture: R3 — partial accessor in library code. *)
+
+let cheapest outcomes = List.hd outcomes

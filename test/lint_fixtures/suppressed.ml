@@ -1,0 +1,12 @@
+(* lint fixture: every rule violated once, every violation suppressed
+   with an allow comment (same-line and preceding-line forms). *)
+
+let roll () = Random.int 6 (* dcache-lint: allow R1 *)
+
+(* dcache-lint: allow R2 *)
+let is_free cost = cost = 0.0
+
+let cheapest outcomes = List.hd outcomes (* dcache-lint: allow R3 *)
+
+(* dcache-lint: allow all *)
+let same_plan a b = (a : Schedule.t) = b

@@ -15,4 +15,5 @@ let () =
       ("streaming", Test_streaming.suite);
       ("viz", Test_viz.suite);
       ("invariants", Test_invariants.suite);
+      ("lint", Test_lint.suite);
     ]

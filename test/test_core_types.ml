@@ -185,6 +185,14 @@ let schedule_detects_unserved_request () =
        ~caches:[ { Schedule.server = 0; from_time = 0.0; to_time = 3.0 } ]
        ~transfers:[ { Schedule.src = Schedule.From_server 0; dst = 1; time = 1.0 } ])
 
+let schedule_validate_exn_raises_invalid_schedule () =
+  let infeasible = Schedule.make ~caches:[] ~transfers:[] in
+  match Schedule.validate_exn (simple_seq ()) infeasible with
+  | () -> Alcotest.fail "validate_exn accepted an infeasible schedule"
+  | exception Schedule.Invalid_schedule (_ :: _) -> ()
+  | exception Schedule.Invalid_schedule [] ->
+      Alcotest.fail "Invalid_schedule carried no violations"
+
 let schedule_detects_coverage_gap () =
   (* everything is served and sourced (the s2 interval starts with an
      upload), but nobody caches during (2.0, 2.5) *)
@@ -318,6 +326,7 @@ let suite =
     case "schedule: upload pricing" schedule_upload_pricing;
     case "schedule: validator accepts a feasible schedule" schedule_validates_good;
     case "schedule: detects unserved request" schedule_detects_unserved_request;
+    case "schedule: validate_exn raises Invalid_schedule" schedule_validate_exn_raises_invalid_schedule;
     case "schedule: detects coverage gap" schedule_detects_coverage_gap;
     case "schedule: detects unsourced cache" schedule_detects_unsourced_cache;
     case "schedule: detects ghost transfer source" schedule_detects_ghost_transfer_source;

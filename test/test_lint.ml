@@ -1,0 +1,142 @@
+(* dcache_lint: rule catalog on fixtures, suppression comments,
+   baseline filtering, and the lib/-is-clean regression gate. *)
+
+let fixture name = "lint_fixtures/" ^ name
+
+(* fixtures live under test/, not lib/: force library scope so R3 is
+   exercised; [test_r3] turns it back off explicitly *)
+let lint ?(lib_scope = true) file =
+  match Lint_engine.lint_file ~lib_scope (fixture file) with
+  | Ok findings -> findings
+  | Error msg -> Alcotest.failf "lint_file %s: %s" file msg
+
+let summaries findings =
+  List.map
+    (fun f -> (f.Lint_finding.line, Lint_finding.rule_id f.Lint_finding.rule))
+    findings
+
+let check_findings name expected findings =
+  Alcotest.(check (list (pair int string))) name expected (summaries findings)
+
+(* ------------------------------------------------------ fixture rules *)
+
+let test_r1 () =
+  check_findings "R1 fixture" [ (4, "R1") ] (lint "r1_violation.ml");
+  (* Stdlib-qualified and Hashtbl forms, and the rng.ml exemption *)
+  let from_source ~path src =
+    match Lint_engine.lint_source ~lib_scope:true ~path src with
+    | Ok fs -> fs
+    | Error msg -> Alcotest.failf "lint_source: %s" msg
+  in
+  check_findings "Stdlib.Random" [ (1, "R1") ]
+    (from_source ~path:"lib/x.ml" "let r = Stdlib.Random.bool ()");
+  check_findings "Hashtbl.iter" [ (1, "R1") ]
+    (from_source ~path:"lib/x.ml" "let f h = Hashtbl.iter ignore h");
+  check_findings "rng.ml exempt" []
+    (from_source ~path:"lib/prelude/rng.ml" "let r = Random.bits ()")
+
+let test_r2 () =
+  check_findings "R2 fixture" [ (3, "R2") ] (lint "r2_violation.ml");
+  let from_source src =
+    match Lint_engine.lint_source ~lib_scope:true ~path:"lib/x.ml" src with
+    | Ok fs -> fs
+    | Error msg -> Alcotest.failf "lint_source: %s" msg
+  in
+  check_findings "cost accessor" [ (1, "R2") ]
+    (from_source "let tied m a b = compare (Schedule.cost m a) (Schedule.cost m b)");
+  check_findings "min on float arith" [ (1, "R2") ] (from_source "let m a b = min (a +. 1.) b");
+  check_findings "int_of_float escape" []
+    (from_source "let col t h w = min (w - 1) (int_of_float (t /. h))");
+  check_findings "int compare untouched" [] (from_source "let m a b = min (a + 1) b")
+
+let test_r3 () =
+  check_findings "R3 fixture" [ (3, "R3") ] (lint "r3_violation.ml");
+  (* R3 is library-scope only: the same fixture is clean outside lib/ *)
+  check_findings "R3 off outside lib/" [] (lint ~lib_scope:false "r3_violation.ml")
+
+let test_r4 () =
+  check_findings "R4 fixture" [ (3, "R4") ] (lint "r4_violation.ml");
+  let from_source src =
+    match Lint_engine.lint_source ~lib_scope:true ~path:"lib/x.ml" src with
+    | Ok fs -> fs
+    | Error msg -> Alcotest.failf "lint_source: %s" msg
+  in
+  check_findings "Schedule.make result" [ (1, "R4") ]
+    (from_source "let dup c t = Schedule.make ~caches:c ~transfers:t = Schedule.empty")
+
+let test_clean () = check_findings "clean fixture" [] (lint "clean.ml")
+
+(* -------------------------------------------------------- suppression *)
+
+let test_suppression () =
+  check_findings "all four suppressed" [] (lint "suppressed.ml");
+  let from_source src =
+    match Lint_engine.lint_source ~lib_scope:true ~path:"lib/x.ml" src with
+    | Ok fs -> fs
+    | Error msg -> Alcotest.failf "lint_source: %s" msg
+  in
+  (* the comment only reaches its own and the following line *)
+  check_findings "distant comment does not suppress" [ (3, "R3") ]
+    (from_source "(* dcache-lint: allow R3 *)\nlet a = 1\nlet b xs = List.hd xs");
+  (* a trailing comment on a code line covers that line only *)
+  check_findings "trailing comment does not leak downward" [ (2, "R3") ]
+    (from_source "let f xs = List.hd xs (* dcache-lint: allow R3 *)\nlet g xs = List.hd xs");
+  (* a suppression for one rule does not silence another *)
+  check_findings "wrong rule id does not suppress" [ (1, "R3") ]
+    (from_source "let f xs = List.hd xs (* dcache-lint: allow R1 *)")
+
+(* ----------------------------------------------------------- baseline *)
+
+let test_baseline () =
+  let findings = lint "r1_violation.ml" in
+  let entries = Lint_engine.parse_baseline (String.concat "\n" (List.map Lint_engine.baseline_line findings)) in
+  let fresh, stale = Lint_engine.apply_baseline entries findings in
+  Alcotest.(check int) "baselined findings are not fresh" 0 (List.length fresh);
+  Alcotest.(check int) "no stale entries" 0 (List.length stale);
+  (* line numbers are ignored: a moved finding still matches *)
+  let moved = List.map (fun f -> { f with Lint_finding.line = f.Lint_finding.line + 40 }) findings in
+  let fresh, stale = Lint_engine.apply_baseline entries moved in
+  Alcotest.(check int) "line drift keeps the match" 0 (List.length fresh);
+  Alcotest.(check int) "line drift keeps entries used" 0 (List.length stale);
+  (* an entry matching nothing is reported stale *)
+  let unrelated =
+    Lint_engine.parse_baseline "lib/nowhere.ml\tR3\tpartial `List.hd`: match on the list"
+  in
+  let fresh, stale = Lint_engine.apply_baseline unrelated findings in
+  Alcotest.(check int) "unmatched findings stay fresh" (List.length findings) (List.length fresh);
+  Alcotest.(check int) "unmatched entry is stale" 1 (List.length stale)
+
+(* ------------------------------------------------- lib/ is lint-clean *)
+
+let test_lib_clean () =
+  let entries =
+    match Lint_engine.load_baseline "../tools/lint/baseline.txt" with
+    | Ok entries -> entries
+    | Error msg -> Alcotest.failf "load_baseline: %s" msg
+  in
+  let files = Lint_engine.collect_ml_files [ "../lib" ] in
+  Alcotest.(check bool) "found lib sources" true (List.length files > 20);
+  let findings =
+    List.concat_map
+      (fun file ->
+        match Lint_engine.lint_file file with
+        | Ok fs -> fs
+        | Error msg -> Alcotest.failf "lint_file %s: %s" file msg)
+      files
+  in
+  let fresh, _stale = Lint_engine.apply_baseline entries findings in
+  Alcotest.(check (list string))
+    "lib/ lint-clean against baseline" []
+    (List.map Lint_finding.to_human fresh)
+
+let suite =
+  [
+    Alcotest.test_case "R1 determinism" `Quick test_r1;
+    Alcotest.test_case "R2 float comparison" `Quick test_r2;
+    Alcotest.test_case "R3 totality" `Quick test_r3;
+    Alcotest.test_case "R4 polymorphic compare" `Quick test_r4;
+    Alcotest.test_case "clean fixture" `Quick test_clean;
+    Alcotest.test_case "suppression comments" `Quick test_suppression;
+    Alcotest.test_case "baseline filtering" `Quick test_baseline;
+    Alcotest.test_case "lib/ is lint-clean" `Quick test_lib_clean;
+  ]

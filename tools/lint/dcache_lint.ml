@@ -1,0 +1,87 @@
+(* dcache_lint — repo-specific static analysis over Parsetrees.
+
+   Usage: dcache_lint [--json] [--baseline FILE] [--update-baseline]
+                      [--no-stale-check] PATH...
+
+   PATHs are .ml files or directories (walked recursively, skipping
+   _build and .git).  Exit status: 0 when no fresh findings, 1 when
+   fresh findings (or stale baseline entries) remain, 2 on usage or
+   I/O errors.  See docs/STATIC_ANALYSIS.md for the rule catalog. *)
+
+module F = Lint_finding
+module E = Lint_engine
+
+let json = ref false
+let baseline_file = ref ""
+let update_baseline = ref false
+let stale_check = ref true
+let roots = ref []
+
+let spec =
+  [
+    ("--json", Arg.Set json, " Emit findings as a JSON array instead of file:line:col lines");
+    ("--baseline", Arg.Set_string baseline_file, "FILE Suppress findings listed in FILE");
+    ( "--update-baseline",
+      Arg.Set update_baseline,
+      " Rewrite the baseline file with all current findings and exit 0" );
+    ( "--no-stale-check",
+      Arg.Clear stale_check,
+      " Do not fail when baseline entries match nothing" );
+  ]
+
+let usage = "dcache_lint [options] PATH..."
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("dcache_lint: " ^ msg); exit 2) fmt
+
+let () =
+  Arg.parse (Arg.align spec) (fun p -> roots := p :: !roots) usage;
+  if !roots = [] then die "no paths given (try: dcache_lint lib bin)";
+  let files =
+    try E.collect_ml_files (List.rev !roots) with Sys_error msg -> die "%s" msg
+  in
+  if files = [] then die "no .ml files under the given paths";
+  let findings, errors =
+    List.fold_left
+      (fun (fs, es) file ->
+        match E.lint_file file with Ok f -> (f @ fs, es) | Error e -> (fs, e :: es))
+      ([], []) files
+  in
+  List.iter prerr_endline (List.rev errors);
+  if errors <> [] then exit 2;
+  let findings = List.sort F.compare findings in
+  if !update_baseline then begin
+    if !baseline_file = "" then die "--update-baseline requires --baseline FILE";
+    let header =
+      "# dcache_lint baseline: pre-existing findings that do not fail the build.\n\
+       # One finding per line: path<TAB>rule<TAB>message (line numbers ignored).\n\
+       # Regenerate with: dune exec tools/lint/dcache_lint.exe -- \\\n\
+       #   --baseline tools/lint/baseline.txt --update-baseline lib bin bench examples\n"
+    in
+    let body = String.concat "" (List.map (fun f -> E.baseline_line f ^ "\n") findings) in
+    Out_channel.with_open_bin !baseline_file (fun oc ->
+        Out_channel.output_string oc (header ^ body));
+    Printf.printf "dcache_lint: wrote %d entries to %s\n" (List.length findings) !baseline_file;
+    exit 0
+  end;
+  let baseline =
+    if !baseline_file = "" then []
+    else match E.load_baseline !baseline_file with Ok b -> b | Error e -> die "%s" e
+  in
+  let fresh, stale = E.apply_baseline baseline findings in
+  if !json then print_endline (F.to_json fresh)
+  else List.iter (fun f -> print_endline (F.to_human f)) fresh;
+  let stale_bad = !stale_check && stale <> [] in
+  if stale_bad && not !json then
+    List.iter
+      (fun e ->
+        Printf.eprintf "dcache_lint: stale baseline entry (fix it or drop the line): %s\t%s\t%s\n"
+          e.E.b_path e.E.b_rule e.E.b_message)
+      stale;
+  let n = List.length fresh in
+  if (n > 0 || stale_bad) && not !json then
+    Printf.eprintf "dcache_lint: %d fresh finding%s, %d stale baseline entr%s in %d files\n" n
+      (if n = 1 then "" else "s")
+      (List.length stale)
+      (if List.length stale = 1 then "y" else "ies")
+      (List.length files);
+  exit (if n > 0 || stale_bad then 1 else 0)

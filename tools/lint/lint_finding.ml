@@ -1,0 +1,71 @@
+type rule = R1 | R2 | R3 | R4
+
+let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+
+let rule_of_id = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | _ -> None
+
+let all_rules = [ R1; R2; R3; R4 ]
+
+type t = { path : string; line : int; col : int; rule : rule; message : string }
+
+let normalize_path path =
+  let parts = String.split_on_char '/' path in
+  (* drop leading ./ and ../ segments *)
+  let rec strip_dots = function
+    | ("." | "..") :: rest -> strip_dots rest
+    | parts -> parts
+  in
+  let parts = strip_dots parts in
+  (* drop a _build/<context>/ prefix left by sandboxed dune actions *)
+  let parts = match parts with "_build" :: _context :: rest -> rest | parts -> parts in
+  String.concat "/" parts
+
+let make ~path ~loc ~rule message =
+  let pos = loc.Location.loc_start in
+  {
+    path = normalize_path path;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    rule;
+    message;
+  }
+
+let compare a b =
+  match String.compare a.path b.path with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_human f = Printf.sprintf "%s:%d:%d %s %s" f.path f.line f.col (rule_id f.rule) f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json findings =
+  let obj f =
+    Printf.sprintf
+      {|  {"path": "%s", "line": %d, "col": %d, "rule": "%s", "message": "%s"}|}
+      (json_escape f.path) f.line f.col (rule_id f.rule) (json_escape f.message)
+  in
+  "[\n" ^ String.concat ",\n" (List.map obj findings) ^ "\n]"

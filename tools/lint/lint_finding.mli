@@ -1,0 +1,46 @@
+(** Findings produced by the dcache lint rules.
+
+    A finding pins a rule violation to a source position.  Baseline
+    matching deliberately ignores the position: an entry in
+    [baseline.txt] keyed by (path, rule, message) survives unrelated
+    edits that shift line numbers, while a {e new} violation of the
+    same rule with a different message still fails the build. *)
+
+type rule =
+  | R1  (** determinism: no ambient randomness, no unordered Hashtbl folds *)
+  | R2  (** float comparison: exact [=]/[compare]/[min]/[max] on costs *)
+  | R3  (** totality: no partial stdlib accessors or bare [failwith] in lib/ *)
+  | R4  (** no polymorphic compare on [Schedule.t] / [Request.t] *)
+
+val rule_id : rule -> string
+(** ["R1"] .. ["R4"]. *)
+
+val rule_of_id : string -> rule option
+(** Inverse of {!rule_id}; case-sensitive. *)
+
+val all_rules : rule list
+
+type t = {
+  path : string;  (** normalised, repo-relative (see {!normalize_path}) *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports *)
+  rule : rule;
+  message : string;
+}
+
+val make : path:string -> loc:Location.t -> rule:rule -> string -> t
+(** Builds a finding from the start of [loc], normalising [path]. *)
+
+val normalize_path : string -> string
+(** Strips leading [./] and [../] segments and any [_build/<context>/]
+    prefix so findings agree between in-source and sandboxed runs. *)
+
+val compare : t -> t -> int
+(** Orders by path, then position, then rule id. *)
+
+val to_human : t -> string
+(** [file:line:col rule message] — one line, no trailing newline. *)
+
+val to_json : t list -> string
+(** A JSON array of objects with [path]/[line]/[col]/[rule]/[message]
+    fields (hand-rolled; no JSON library dependency). *)

@@ -1,0 +1,175 @@
+open Parsetree
+module F = Lint_finding
+
+(* ---------------------------------------------------------------- paths *)
+
+(* [Longident.flatten] with a leading [Stdlib] (or labelled stdlib
+   alias) stripped, so [Stdlib.Random.int] and [Random.int] look the
+   same to every rule. *)
+let flatten_ident lid =
+  match Longident.flatten lid with
+  | ("Stdlib" | "StdLabels" | "MoreLabels") :: rest -> rest
+  | parts -> parts
+
+let last_component parts = List.nth_opt parts (List.length parts - 1)
+
+(* -------------------------------------------------------- rule tables *)
+
+let rng_module_file = "prelude/rng.ml"
+
+let r3_banned =
+  [
+    ([ "List"; "hd" ], "partial `List.hd`: match on the list (the empty case is reachable)");
+    ([ "List"; "nth" ], "partial `List.nth`: use `List.nth_opt` or restructure");
+    ([ "Option"; "get" ], "partial `Option.get`: match on the option");
+    ( [ "Array"; "unsafe_get" ],
+      "`Array.unsafe_get` skips bounds checking: index proofs belong in code review, not trust" );
+    ([ "failwith" ], "bare `failwith`: raise a dedicated exception callers can catch");
+  ]
+
+let comparison_heads = [ "="; "<>"; "compare" ]
+let r2_heads = comparison_heads @ [ "min"; "max" ]
+
+(* Cost accessors whose results are schedule costs: comparing them
+   exactly is wrong whichever module they came from. *)
+let cost_names = [ "cost"; "caching_cost"; "transfer_cost"; "total_cost"; "opt_cost" ]
+
+(* Constructors returning Schedule.t / Request.t values (R4). *)
+let schedule_valued =
+  [
+    [ "Schedule"; "make" ];
+    [ "Schedule"; "empty" ];
+    [ "Schedule"; "union" ];
+    [ "Request"; "make" ];
+  ]
+
+(* ------------------------------------------------- expression predicates *)
+
+(* Does [expr] (syntactically) produce a float cost?  Used by R2 on
+   the arguments of a comparison: float literals, float arithmetic,
+   cost accessors and [Cost_model] fields all qualify. *)
+let rec is_floaty expr =
+  match expr.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } -> (
+      let parts = flatten_ident txt in
+      match parts with
+      | "Cost_model" :: _ -> true
+      | _ -> ( match last_component parts with Some l -> List.mem l cost_names | None -> false))
+  | Pexp_field (_, { txt; _ }) -> (
+      match last_component (Longident.flatten txt) with
+      | Some l -> List.mem l cost_names
+      | None -> false)
+  | Pexp_apply (head, args) -> (
+      match head.pexp_desc with
+      (* int-valued escapes: float math inside these never reaches the
+         comparison as a float *)
+      | Pexp_ident { txt; _ }
+        when List.mem (flatten_ident txt)
+               [ [ "int_of_float" ]; [ "truncate" ]; [ "Int"; "of_float" ]; [ "Float"; "to_int" ] ]
+        ->
+          false
+      | Pexp_ident { txt = Longident.Lident ("+." | "-." | "*." | "/." | "~-."); _ } -> true
+      | _ -> is_floaty head || List.exists (fun (_, a) -> is_floaty a) args)
+  | Pexp_constraint (e, ty) -> is_float_type ty || is_floaty e
+  | Pexp_ifthenelse (_, e, None) -> is_floaty e
+  | Pexp_ifthenelse (_, e1, Some e2) -> is_floaty e1 || is_floaty e2
+  | _ -> false
+
+and is_float_type ty =
+  match ty.ptyp_desc with
+  | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []) -> true
+  | _ -> false
+
+(* Does [ty] mention Schedule.t or Request.t? *)
+let rec mentions_schedule_type ty =
+  match ty.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, args) ->
+      (match flatten_ident txt with
+      | parts -> (
+          match List.rev parts with
+          | "t" :: ("Schedule" | "Request") :: _ -> true
+          | _ -> false))
+      || List.exists mentions_schedule_type args
+  | Ptyp_tuple tys -> List.exists mentions_schedule_type tys
+  | Ptyp_arrow (_, a, b) -> mentions_schedule_type a || mentions_schedule_type b
+  | _ -> false
+
+(* Does [expr] (syntactically) produce a Schedule.t / Request.t? *)
+let rec is_schedule_valued expr =
+  match expr.pexp_desc with
+  | Pexp_ident { txt; _ } -> List.mem (flatten_ident txt) schedule_valued
+  | Pexp_apply (head, _) -> is_schedule_valued head
+  | Pexp_constraint (e, ty) -> mentions_schedule_type ty || is_schedule_valued e
+  | _ -> false
+
+(* --------------------------------------------------------------- the pass *)
+
+let check_structure ~lib_scope ~path structure =
+  let findings = ref [] in
+  let add ~loc rule message = findings := F.make ~path ~loc ~rule message :: !findings in
+  let in_rng_module = Filename.check_suffix (F.normalize_path path) rng_module_file in
+
+  let check_ident ~loc lid =
+    let parts = flatten_ident lid in
+    (* R1: ambient randomness *)
+    (match parts with
+    | "Random" :: _ when not in_rng_module ->
+        add ~loc F.R1
+          (Printf.sprintf
+             "`%s` breaks seed-reproducibility: draw from `Dcache_prelude.Rng` instead"
+             (String.concat "." parts))
+    | "Hashtbl" :: _ when List.mem (Option.value ~default:"" (last_component parts)) [ "fold"; "iter" ]
+      ->
+        add ~loc F.R1
+          (Printf.sprintf
+             "`%s` visits bindings in nondeterministic order: sort the result before it feeds \
+              any aggregate"
+             (String.concat "." parts))
+    | _ -> ());
+    (* R3: partiality, library code only *)
+    if lib_scope then
+      match List.assoc_opt parts r3_banned with
+      | Some message -> add ~loc F.R3 message
+      | None -> ()
+  in
+
+  let check_apply ~loc head args =
+    match head.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident op; _ } when List.mem op r2_heads ->
+        let positional = List.filter_map (function Asttypes.Nolabel, a -> Some a | _ -> None) args in
+        let floaty = List.exists is_floaty positional in
+        let schedule_ish = List.exists is_schedule_valued positional in
+        if floaty then
+          add ~loc F.R2
+            (Printf.sprintf
+               "exact `%s` on a float cost: equal costs differ by ulps across recurrence paths; \
+                use `Float_cmp.%s`"
+               op
+               (match op with
+               | "=" | "<>" -> "approx_eq"
+               | "compare" -> "compare_approx"
+               | _ -> "approx_le / explicit tie-break"));
+        if schedule_ish && List.mem op comparison_heads then
+          add ~loc F.R4
+            (Printf.sprintf
+               "polymorphic `%s` on a Schedule.t/Request.t value is tolerance-blind on float \
+                fields: compare costs via `Float_cmp` or use the module's own comparator"
+               op)
+    | _ -> ()
+  in
+
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self expr ->
+          (match expr.pexp_desc with
+          | Pexp_ident { txt; loc } -> check_ident ~loc txt
+          | Pexp_apply (head, args) -> check_apply ~loc:expr.pexp_loc head args
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self expr);
+    }
+  in
+  iterator.structure iterator structure;
+  List.sort_uniq F.compare !findings

@@ -1,0 +1,26 @@
+(** The dcache lint rules, as a single Parsetree pass.
+
+    Each rule protects an invariant the reproduction's guarantees rest
+    on (see [docs/STATIC_ANALYSIS.md] for the catalog):
+
+    - {b R1 determinism} — all randomness flows through
+      [Dcache_prelude.Rng]; [Hashtbl.fold]/[Hashtbl.iter] visit
+      bindings in nondeterministic order and must not feed results
+      onward unsorted.
+    - {b R2 float comparison} — exact [=], [<>], [compare], [min],
+      [max] on cost-valued expressions; equal costs computed along
+      different recurrence paths differ by ulps, so comparisons must
+      go through [Float_cmp].
+    - {b R3 totality} — no [List.hd], [List.nth], [Option.get],
+      [Array.unsafe_get] or bare [failwith] in library code
+      ([lib_scope]).
+    - {b R4 polymorphic compare} — no [=]/[<>]/[compare] on
+      [Schedule.t] or [Request.t] values; their float fields make
+      polymorphic equality tolerance-blind. *)
+
+val check_structure :
+  lib_scope:bool -> path:string -> Parsetree.structure -> Lint_finding.t list
+(** Runs every rule over one parsed implementation.  [path] is
+    recorded in the findings and decides the [lib/prelude/rng.ml]
+    exemption from R1; [lib_scope] enables R3.  Findings come back
+    sorted by position. *)
