@@ -1,0 +1,46 @@
+# Convenience entry points around dune.  `make check` is the full
+# gate: build, tests (which already include both static-analysis
+# stages via @lint), and machine-readable SARIF reports for both
+# analyzers under _build/sarif/.
+
+BUILD := _build/default
+SARIF := _build/sarif
+
+.PHONY: all build test lint sema sarif check bench bench-sema clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# both static-analysis stages: dcache_lint (parsetree) + dcache_sema (typedtree)
+lint:
+	dune build @lint
+
+sema:
+	dune build @sema
+
+# SARIF artifacts for CI upload; the exit status still gates
+sarif: build
+	dune build @sema
+	mkdir -p $(SARIF)
+	$(BUILD)/tools/lint/dcache_lint.exe --baseline tools/lint/baseline.txt \
+	  --sarif $(SARIF)/dcache_lint.sarif lib bin bench examples
+	$(BUILD)/tools/sema/dcache_sema.exe --baseline tools/sema/baseline.txt \
+	  --source-root $(BUILD) --scope lib/ --sarif $(SARIF)/dcache_sema.sarif $(BUILD)
+
+check: build test sarif
+
+bench: build
+	dune exec bench/main.exe -- quick
+
+# cold vs. incremental wall-time of the sema pass
+bench-sema:
+	dune build @sema
+	dune exec bench/sema_bench.exe
+
+clean:
+	dune clean

@@ -1,0 +1,64 @@
+(* Cold vs. incremental wall-time of the dcache_sema pass.
+
+     dune build @sema          # produce the exe and the .cmt tree
+     make bench-sema           # or: dune exec bench/sema_bench.exe
+
+   Runs the analyzer twice against the same fresh cache file: the
+   first run analyzes every unit from scratch, the second must hit
+   the digest-keyed cache for all of them.  Exits non-zero if the
+   warm run misses the cache — the incremental path is a tested
+   contract, not an optimization hint. *)
+
+let default_exe = "_build/default/tools/sema/dcache_sema.exe"
+let default_root = "_build/default"
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("sema_bench: " ^ msg); exit 2) fmt
+
+(* last "dcache_sema: N units, H cache hits" line of the stderr log *)
+let stats_of_log log =
+  let stats = ref None in
+  In_channel.with_open_text log (fun ic ->
+      let rec go () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+            (try Scanf.sscanf line "dcache_sema: %d units, %d cache hits" (fun u h -> stats := Some (u, h))
+             with Scanf.Scan_failure _ | End_of_file -> ());
+            go ()
+      in
+      go ());
+  match !stats with Some s -> s | None -> die "no stats line in %s" log
+
+let timed_run ~exe ~root ~cache =
+  let log = Filename.temp_file "sema_bench" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove log)
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s --cache %s --source-root %s --stats %s >/dev/null 2>%s"
+          (Filename.quote exe) (Filename.quote cache) (Filename.quote root) (Filename.quote root)
+          (Filename.quote log)
+      in
+      let t0 = Unix.gettimeofday () in
+      let code = Sys.command cmd in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if code > 1 then die "analyzer failed (exit %d): %s" code cmd;
+      let units, hits = stats_of_log log in
+      (units, hits, elapsed))
+
+let () =
+  let exe = if Array.length Sys.argv > 1 then Sys.argv.(1) else default_exe in
+  let root = if Array.length Sys.argv > 2 then Sys.argv.(2) else default_root in
+  if not (Sys.file_exists exe) then die "%s not found: run `dune build @sema` first" exe;
+  let cache = Filename.temp_file "sema_bench" ".cache" in
+  Sys.remove cache;
+  let cold_units, cold_hits, cold_t = timed_run ~exe ~root ~cache in
+  let warm_units, warm_hits, warm_t = timed_run ~exe ~root ~cache in
+  (if Sys.file_exists cache then Sys.remove cache);
+  Printf.printf "sema cold: %3d units, %3d cache hits, %.3f s\n" cold_units cold_hits cold_t;
+  Printf.printf "sema warm: %3d units, %3d cache hits, %.3f s\n" warm_units warm_hits warm_t;
+  Printf.printf "speedup:   %.1fx\n" (cold_t /. Float.max warm_t 1e-6);
+  if cold_hits <> 0 then die "cold run unexpectedly hit a cache";
+  if warm_units <> warm_hits then
+    die "incremental cache regressed: %d of %d units re-analyzed on the warm run"
+      (warm_units - warm_hits) warm_units

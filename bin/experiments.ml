@@ -1,5 +1,43 @@
-(* Standalone regeneration of every experiment table (E1-E10).
-   Pass "quick" for the reduced sweeps used in CI. *)
+(* Standalone regeneration of the experiment tables (E1-E15).
+
+   Usage: experiments [quick] [NAME...]
+
+   With no NAME every report is printed in order; otherwise only the
+   named ones.  Pass "quick" for the reduced sweeps used in CI. *)
+
+module E = Dcache_experiments.Experiments
+
+let reports =
+  [
+    ("table1", fun ~quick:_ -> E.table1 ());
+    ("fig2", fun ~quick:_ -> E.fig2 ());
+    ("fig6", fun ~quick:_ -> E.fig6 ());
+    ("fig7", fun ~quick:_ -> E.fig7 ());
+    ("fig8", fun ~quick:_ -> E.fig8 ());
+    ("scaling", fun ~quick -> E.scaling ~quick ());
+    ("ratio", fun ~quick -> E.ratio ~quick ());
+    ("optimality", fun ~quick -> E.optimality ~quick ());
+    ("baselines", fun ~quick -> E.baselines ~quick ());
+    ("ablation", fun ~quick -> E.ablation ~quick ());
+    ("hetero", fun ~quick -> E.hetero ~quick ());
+    ("predictive", fun ~quick -> E.predictive ~quick ());
+    ("budget", fun ~quick -> E.budget ~quick ());
+    ("ratio_search", fun ~quick -> E.ratio_search ~quick ());
+    ("capacity", fun ~quick -> E.capacity ~quick ());
+  ]
+
 let () =
-  let quick = Array.exists (String.equal "quick") Sys.argv in
-  Dcache_experiments.Experiments.run_all ~quick ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.exists (String.equal "quick") args in
+  match List.filter (fun a -> a <> "quick") args with
+  | [] -> E.run_all ~quick ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name reports with
+          | Some f -> f ~quick
+          | None ->
+              Printf.eprintf "experiments: unknown report %S (known: %s)\n" name
+                (String.concat ", " (List.map fst reports));
+              exit 2)
+        names

@@ -30,6 +30,9 @@ val make_costs : mu:float array -> lambda:float array array -> (costs, string) r
     under composition internally. *)
 
 val make_costs_exn : mu:float array -> lambda:float array array -> costs
+(** {!make_costs} without the [result].
+    @raise Invalid_argument with the same message {!make_costs} would
+    return as [Error]. *)
 
 val of_homogeneous : Cost_model.t -> m:int -> costs
 (** Uniform matrix; {!solve} then agrees with

@@ -36,7 +36,8 @@ val classic_lru : capacity:int -> Cost_model.t -> Sequence.t -> outcome
     holds one, otherwise transfer in and evict the least recently used
     copy when full.  Maximises hit ratio, ignores monetary cost —
     included to quantify the paper's cost-driven-vs-capacity-driven
-    contrast. *)
+    contrast.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val sc : ?epoch_size:int -> Cost_model.t -> Sequence.t -> outcome
 (** The paper's speculative caching, via {!Online_sc.run}, wrapped in

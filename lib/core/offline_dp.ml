@@ -9,6 +9,7 @@ let solve model seq =
     Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
   done;
   { stream; n = Sequence.n seq }
+[@@hot]
 
 let cost r = Streaming_dp.cost r.stream
 

@@ -36,7 +36,8 @@ val oracle : Sequence.t -> predictor
 val noisy : rng:Dcache_prelude.Rng.t -> relative_error:float -> Sequence.t -> predictor
 (** The oracle with multiplicative noise: each estimate is scaled by
     [exp(relative_error * g)] for a standard Gaussian [g] (so
-    [relative_error = 0.] is the oracle). *)
+    [relative_error = 0.] is the oracle).
+    @raise Invalid_argument if [relative_error] is negative. *)
 
 val frequency : Sequence.t -> predictor
 (** A realistic log-mining predictor: estimates each server's

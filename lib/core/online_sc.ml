@@ -176,7 +176,7 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
     }
   in
   activate st 0 0.0 ~by_transfer:false;
-  let transfer_cost = ref 0.0 and num_transfers = ref 0 in
+  let num_transfers = ref 0 in
   let epoch_transfers = ref 0 and num_epochs = ref 0 in
   let last_copy_server = ref 0 in
   let serves = Array.make (n + 1) By_cache in
@@ -206,7 +206,6 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
         end
       in
       assert (src >= 0 && st.active.(src));
-      transfer_cost := !transfer_cost +. model.Cost_model.lambda;
       incr num_transfers;
       incr epoch_transfers;
       refresh st src ti;
@@ -232,16 +231,19 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
   for k = 0 to m - 1 do
     if st.active.(k) then deactivate st k horizon
   done;
+  (* transfers all cost lambda: count them and multiply once, instead
+     of folding +. lambda per request (exact, and S4-clean) *)
   {
     caching_cost = st.caching;
-    transfer_cost = !transfer_cost;
-    total_cost = st.caching +. !transfer_cost;
+    transfer_cost = float_of_int !num_transfers *. model.Cost_model.lambda;
+    total_cost = Cost_model.add model ~caching:st.caching ~transfers:!num_transfers;
     num_transfers = !num_transfers;
     num_epochs = !num_epochs + 1;
     serves;
     events = List.rev st.events;
     segments = List.rev st.segments;
   }
+[@@hot]
 
 let schedule_of_run seq (run : run) =
   let caches =

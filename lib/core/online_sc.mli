@@ -84,7 +84,9 @@ val run :
     the hook {!Online_predictive} builds on; takes precedence over
     [window].  The last-copy extension quantum stays at the base
     window either way (it only affects liveness bookkeeping, never
-    cost). *)
+    cost).
+    @raise Invalid_argument if [epoch_size < 1], if [window] is not
+    positive, or if [window_policy] returns a non-positive window. *)
 
 val schedule_of_run : Sequence.t -> run -> Schedule.t
 (** Renders an SC run as an explicit schedule — each copy lifetime

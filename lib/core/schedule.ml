@@ -47,19 +47,21 @@ let empty = { caches = []; transfers = [] }
 let caches t = t.caches
 let transfers t = t.transfers
 
+let kahan_sum_by f xs =
+  let k = Dcache_prelude.Stats.kahan_create () in
+  List.iter (fun x -> Dcache_prelude.Stats.kahan_add k (f x)) xs;
+  Dcache_prelude.Stats.kahan_total k
+
 let caching_cost model t =
-  List.fold_left
-    (fun acc c -> acc +. (model.Cost_model.mu *. (c.to_time -. c.from_time)))
-    0.0 t.caches
+  kahan_sum_by (fun c -> model.Cost_model.mu *. (c.to_time -. c.from_time)) t.caches
 
 let transfer_cost model t =
-  List.fold_left
-    (fun acc tr ->
-      acc
-      +. (match tr.src with
-         | From_server _ -> model.Cost_model.lambda
-         | From_external -> model.Cost_model.upload))
-    0.0 t.transfers
+  kahan_sum_by
+    (fun tr ->
+      match tr.src with
+      | From_server _ -> model.Cost_model.lambda
+      | From_external -> model.Cost_model.upload)
+    t.transfers
 
 let cost model t = caching_cost model t +. transfer_cost model t
 

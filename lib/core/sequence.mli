@@ -34,7 +34,8 @@ val time : t -> int -> float
 (** [time t i] for [i] in [\[0, n\]]; [time t 0 = 0]. *)
 
 val request : t -> int -> Request.t
-(** [request t i] for [i] in [\[1, n\]]. *)
+(** [request t i] for [i] in [\[1, n\]].
+    @raise Invalid_argument when [i] is outside that range. *)
 
 val requests : t -> Request.t array
 (** The [n] user requests (a fresh copy). *)
@@ -58,6 +59,7 @@ val requests_on : t -> int -> int list
 
 val sub : t -> int -> t
 (** [sub t k] is the instance restricted to the first [k] requests
-    ([1 <= k <= n] — with [k = 0] the empty instance). *)
+    ([1 <= k <= n] — with [k = 0] the empty instance).
+    @raise Invalid_argument if [k < 0] or [k > n]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -132,6 +132,7 @@ let push t ~server ~time =
   end;
   t.last_on.(server) <- i;
   Vec.push t.history (Array.copy t.last_on)
+[@@hot]
 
 (* -- schedule reconstruction (identical walk to the batch solver) ------- *)
 

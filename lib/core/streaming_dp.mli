@@ -15,7 +15,8 @@
 type t
 
 val create : Cost_model.t -> m:int -> t
-(** Empty instance: the item sits on server [0] at time [0]. *)
+(** Empty instance: the item sits on server [0] at time [0].
+    @raise Invalid_argument if [m < 1]. *)
 
 val push : t -> server:int -> time:float -> unit
 (** Appends the next request.  [O(m)] time and extra space.

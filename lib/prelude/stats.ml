@@ -26,6 +26,27 @@ let min_value a = a.lo
 let max_value a = a.hi
 let total a = a.sum
 
+type kahan = { mutable k_sum : float; mutable k_comp : float }
+
+let kahan_create () = { k_sum = 0.; k_comp = 0. }
+
+let kahan_add k x =
+  let t = k.k_sum +. x in
+  if Float.is_finite t then
+    (* Neumaier: recover the low-order bits of whichever operand has
+       the smaller magnitude; the comparison is exact by design *)
+    (* dcache-lint: allow R2 — magnitude test selecting the compensation branch, not a tolerance decision *)
+    if abs_float k.k_sum >= abs_float x then k.k_comp <- k.k_comp +. (k.k_sum -. t +. x)
+    else k.k_comp <- k.k_comp +. (x -. t +. k.k_sum);
+  k.k_sum <- t
+
+let kahan_total k = if Float.is_finite k.k_sum then k.k_sum +. k.k_comp else k.k_sum
+
+let kahan_sum xs =
+  let k = kahan_create () in
+  Array.iter (kahan_add k) xs;
+  kahan_total k
+
 let percentile samples p =
   let n = Array.length samples in
   if n = 0 then invalid_arg "Stats.percentile: empty sample";

@@ -25,6 +25,30 @@ val min_value : acc -> float
 val max_value : acc -> float
 val total : acc -> float
 
+(** {1 Compensated summation}
+
+    Folding many small cost increments with bare [+.] loses low-order
+    bits one request at a time (dcache_sema rule S4).  The [kahan]
+    accumulator uses Neumaier's variant of compensated summation: the
+    running error of each addition is captured and folded back into
+    the total, so the result is exact to within one final rounding. *)
+
+type kahan
+(** Mutable compensated accumulator. *)
+
+val kahan_create : unit -> kahan
+
+val kahan_add : kahan -> float -> unit
+(** Adds one term.  Once the running sum is non-finite, compensation
+    stops and the IEEE sum is kept ([+inf] stays [+inf], not [nan]). *)
+
+val kahan_total : kahan -> float
+(** The compensated total of everything added so far; [0.] when
+    nothing was added. *)
+
+val kahan_sum : float array -> float
+(** One-shot compensated sum of an array. *)
+
 (** {1 Order statistics} *)
 
 val percentile : float array -> float -> float

@@ -53,7 +53,8 @@ let analyze seq =
     servers_used = Array.length popularity;
     mean_gap = mean;
     median_gap = Dcache_prelude.Stats.median gaps;
-    gap_cv = (if n < 2 || mean = 0. then nan else std /. mean);
+    gap_cv =
+      (if n < 2 || Dcache_prelude.Float_cmp.approx_eq mean 0. then nan else std /. mean);
     locality = (if n < 2 then nan else float_of_int !locality_hits /. float_of_int (n - 1));
     mean_revisit =
       (if Array.length revisit_array = 0 then nan else Dcache_prelude.Stats.mean revisit_acc);

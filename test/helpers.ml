@@ -74,10 +74,8 @@ let nonempty_problem_arbitrary ?(max_m = 6) ?(max_n = 18) ?with_upload () =
 let qcheck ?(count = 300) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
 
-(* Deterministic mini-instances used across suites. *)
-let fig6 () =
-  Sequence.of_list ~m:4
-    [ (1, 0.5); (2, 0.8); (3, 1.1); (0, 1.4); (1, 2.6); (1, 3.2); (2, 4.0); (3, 4.4) ]
-
-let fig2 () =
-  Sequence.of_list ~m:3 [ (1, 1.2); (0, 1.4); (2, 1.6); (1, 3.1); (0, 3.15); (2, 3.2) ]
+(* Deterministic mini-instances used across suites: the paper's worked
+   examples, shared with the experiment tables via
+   Dcache_experiments.Instances rather than duplicated here. *)
+let fig6 = Dcache_experiments.Instances.fig6
+let fig2 = Dcache_experiments.Instances.fig2

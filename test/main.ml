@@ -16,4 +16,5 @@ let () =
       ("viz", Test_viz.suite);
       ("invariants", Test_invariants.suite);
       ("lint", Test_lint.suite);
+      ("sema", Test_sema.suite);
     ]

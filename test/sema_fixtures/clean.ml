@@ -1,0 +1,11 @@
+(* Clean fixture: allocates freely outside hot loops, exports
+   nothing, and accumulates only ints. *)
+
+let triples xs = List.map (fun x -> (x, x, x)) xs
+
+let count xs =
+  let n = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    n := !n + xs.(i)
+  done;
+  !n

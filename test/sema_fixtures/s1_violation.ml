@@ -1,0 +1,10 @@
+(* S1 fixture: a [@@hot] loop allocating a tuple per iteration. *)
+
+let sum_indexed xs =
+  let total = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    let pair = (xs.(i), i) in
+    total := !total + fst pair + snd pair
+  done;
+  !total
+[@@hot]

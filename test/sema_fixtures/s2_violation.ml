@@ -1,0 +1,1 @@
+let checked_half n = if n < 0 then invalid_arg "checked_half" else n / 2

@@ -1,0 +1,4 @@
+(* S2 fixture: the implementation raises but this doc never says so. *)
+
+val checked_half : int -> int
+(** Halves a non-negative number. *)

@@ -1,0 +1,3 @@
+let used_export n = n + 1
+let dead_export n = n - 1
+let kept_export n = n * 2

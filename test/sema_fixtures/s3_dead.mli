@@ -1,0 +1,8 @@
+(* S3 fixture: [dead_export] has no external user; [used_export] has
+   one in another library; [kept_export] is dead but suppressed. *)
+
+val used_export : int -> int
+val dead_export : int -> int
+
+(* dcache-sema: allow S3 — fixture keeps a deliberately dead export *)
+val kept_export : int -> int

@@ -1,0 +1,4 @@
+(* Compiled into a sibling "library": keeps [S3_dead.used_export]
+   alive across the library boundary. *)
+
+let use = S3_dead.used_export 41

@@ -1,0 +1,8 @@
+(* S4 fixture: a float cost accumulator folded with bare [+.]. *)
+
+let total_of costs =
+  let total = ref 0.0 in
+  for i = 0 to Array.length costs - 1 do
+    total := !total +. costs.(i)
+  done;
+  !total

@@ -22,6 +22,15 @@ let cost_model_delta_t () =
   check_float "caching" 6.0 (Cost_model.caching model ~duration:3.0);
   check_float "unit model window" 1.0 (Cost_model.delta_t Cost_model.unit)
 
+let cost_model_add () =
+  let model = Cost_model.make ~mu:2.0 ~lambda:5.0 () in
+  check_float "no transfers" 3.5 (Cost_model.add model ~caching:3.5 ~transfers:0);
+  check_float "counted transfers" 18.5 (Cost_model.add model ~caching:3.5 ~transfers:3);
+  (* counting keeps the transfer component exact where a running fold
+     would drift: 10^7 transfers at an exactly-representable rate *)
+  check_float "exact at scale" 1.25e6
+    (Cost_model.add (Cost_model.make ~mu:1.0 ~lambda:0.125 ()) ~caching:0.0 ~transfers:10_000_000)
+
 (* --------------------------------------------------------------- request *)
 
 let request_ordering () =
@@ -122,7 +131,17 @@ let bounds_fig6 () =
   let expected = [| 0.0; 1.0; 1.0; 1.0; 1.0; 1.0; 0.6; 1.0; 1.0 |] in
   Array.iteri (fun i e -> check_float (Printf.sprintf "b_%d" i) e b.(i)) expected;
   check_float "B_n" 7.6 (Bounds.lower_bound model seq);
-  check_float "coverage bound" 4.4 (Bounds.coverage_lower_bound model seq)
+  check_float "coverage bound" 4.4 (Bounds.coverage_lower_bound model seq);
+  (* the running bounds are the prefix sums of the marginals, ending
+     at the lower bound; B_6 = 5.6 is the value the paper's D(7)
+     computation plugs in *)
+  let big_b = Bounds.running model seq in
+  check_float "B_0" 0.0 big_b.(0);
+  check_float "B_6" 5.6 big_b.(6);
+  check_float "B_n via running" (Bounds.lower_bound model seq) big_b.(Sequence.n seq);
+  Array.iteri
+    (fun i bi -> if i > 0 then check_float (Printf.sprintf "B_%d - B_%d" i (i - 1)) bi (big_b.(i) -. big_b.(i - 1)))
+    b
 
 let bounds_scale_with_lambda () =
   let seq = fig6 () in
@@ -311,6 +330,7 @@ let suite =
   [
     case "cost_model: rejects non-positive rates" cost_model_validation;
     case "cost_model: delta_t and caching" cost_model_delta_t;
+    case "cost_model: counted total" cost_model_add;
     case "request: ordering" request_ordering;
     case "request: validation" request_validation;
     case "sequence: accessors on fig6" sequence_accessors;

@@ -102,9 +102,22 @@ let rejects_large_m () =
   Alcotest.(check bool) "m > 9" true
     (try ignore (H.solve costs seq); false with Invalid_argument _ -> true)
 
+let cost_accessors () =
+  let model = Cost_model.make ~mu:2.0 ~lambda:3.0 () in
+  let costs = H.of_homogeneous model ~m:4 in
+  Alcotest.(check int) "num_servers" 4 (H.num_servers costs);
+  for s = 0 to 3 do
+    check_float (Printf.sprintf "mu_of %d" s) 2.0 (H.mu_of costs s)
+  done;
+  check_float "closed price is the direct one" 3.0 (H.lambda_of costs ~src:0 ~dst:2);
+  (* make_costs_exn accepts exactly what make_costs accepts *)
+  let costs' = H.make_costs_exn ~mu:[| 2.0; 2.0 |] ~lambda:[| [| 0.0; 3.0 |]; [| 3.0; 0.0 |] |] in
+  Alcotest.(check int) "num_servers of explicit matrix" 2 (H.num_servers costs')
+
 let suite =
   [
     hetero_matches_homogeneous;
+    case "hetero: cost accessors" cost_accessors;
     case "hetero: price closure finds relays" closure_shortcuts;
     case "hetero: cheap warehouse server is exploited" warehouse_server_used;
     witness_feasible_and_priced;

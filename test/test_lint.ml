@@ -1,6 +1,9 @@
 (* dcache_lint: rule catalog on fixtures, suppression comments,
    baseline filtering, and the lib/-is-clean regression gate. *)
 
+module F = Report_finding
+module E = Report_engine
+
 let fixture name = "lint_fixtures/" ^ name
 
 (* fixtures live under test/, not lib/: force library scope so R3 is
@@ -10,38 +13,46 @@ let lint ?(lib_scope = true) file =
   | Ok findings -> findings
   | Error msg -> Alcotest.failf "lint_file %s: %s" file msg
 
-let summaries findings =
-  List.map
-    (fun f -> (f.Lint_finding.line, Lint_finding.rule_id f.Lint_finding.rule))
-    findings
+let summaries findings = List.map (fun f -> (f.F.line, f.F.rule)) findings
 
 let check_findings name expected findings =
   Alcotest.(check (list (pair int string))) name expected (summaries findings)
+
+let from_source ?(path = "lib/x.ml") src =
+  match Lint_engine.lint_source ~lib_scope:true ~path src with
+  | Ok fs -> fs
+  | Error msg -> Alcotest.failf "lint_source: %s" msg
 
 (* ------------------------------------------------------ fixture rules *)
 
 let test_r1 () =
   check_findings "R1 fixture" [ (4, "R1") ] (lint "r1_violation.ml");
   (* Stdlib-qualified and Hashtbl forms, and the rng.ml exemption *)
-  let from_source ~path src =
-    match Lint_engine.lint_source ~lib_scope:true ~path src with
-    | Ok fs -> fs
-    | Error msg -> Alcotest.failf "lint_source: %s" msg
-  in
-  check_findings "Stdlib.Random" [ (1, "R1") ]
-    (from_source ~path:"lib/x.ml" "let r = Stdlib.Random.bool ()");
-  check_findings "Hashtbl.iter" [ (1, "R1") ]
-    (from_source ~path:"lib/x.ml" "let f h = Hashtbl.iter ignore h");
+  check_findings "Stdlib.Random" [ (1, "R1") ] (from_source "let r = Stdlib.Random.bool ()");
+  check_findings "Hashtbl.iter" [ (1, "R1") ] (from_source "let f h = Hashtbl.iter ignore h");
   check_findings "rng.ml exempt" []
     (from_source ~path:"lib/prelude/rng.ml" "let r = Random.bits ()")
 
+let test_r1_aliases () =
+  (* a module alias must not hide the Random dependency: the use site
+     is flagged after resolving the alias (the binding itself is not a
+     draw, so line 1 stays clean) *)
+  check_findings "module alias" [ (2, "R1") ]
+    (from_source "module R = Random\nlet x = R.int 10");
+  (* chained aliases resolve through each other *)
+  check_findings "chained alias" [ (3, "R1") ]
+    (from_source "module A = Random\nmodule B = A\nlet x = B.bits ()");
+  (* open Random makes the bare value names reachable *)
+  check_findings "open Random" [ (2, "R1") ] (from_source "open Random\nlet x = int 10");
+  check_findings "let-open Random" [ (1, "R1") ]
+    (from_source "let x () = let open Random in bool ()");
+  (* an alias to something else stays clean, and so does a bare [int]
+     without the open in scope *)
+  check_findings "innocent alias" [] (from_source "module R = List\nlet x = R.length []");
+  check_findings "no open, no finding" [] (from_source "let int n = n\nlet x = int 10")
+
 let test_r2 () =
   check_findings "R2 fixture" [ (3, "R2") ] (lint "r2_violation.ml");
-  let from_source src =
-    match Lint_engine.lint_source ~lib_scope:true ~path:"lib/x.ml" src with
-    | Ok fs -> fs
-    | Error msg -> Alcotest.failf "lint_source: %s" msg
-  in
   check_findings "cost accessor" [ (1, "R2") ]
     (from_source "let tied m a b = compare (Schedule.cost m a) (Schedule.cost m b)");
   check_findings "min on float arith" [ (1, "R2") ] (from_source "let m a b = min (a +. 1.) b");
@@ -56,11 +67,6 @@ let test_r3 () =
 
 let test_r4 () =
   check_findings "R4 fixture" [ (3, "R4") ] (lint "r4_violation.ml");
-  let from_source src =
-    match Lint_engine.lint_source ~lib_scope:true ~path:"lib/x.ml" src with
-    | Ok fs -> fs
-    | Error msg -> Alcotest.failf "lint_source: %s" msg
-  in
   check_findings "Schedule.make result" [ (1, "R4") ]
     (from_source "let dup c t = Schedule.make ~caches:c ~transfers:t = Schedule.empty")
 
@@ -70,11 +76,6 @@ let test_clean () = check_findings "clean fixture" [] (lint "clean.ml")
 
 let test_suppression () =
   check_findings "all four suppressed" [] (lint "suppressed.ml");
-  let from_source src =
-    match Lint_engine.lint_source ~lib_scope:true ~path:"lib/x.ml" src with
-    | Ok fs -> fs
-    | Error msg -> Alcotest.failf "lint_source: %s" msg
-  in
   (* the comment only reaches its own and the following line *)
   check_findings "distant comment does not suppress" [ (3, "R3") ]
     (from_source "(* dcache-lint: allow R3 *)\nlet a = 1\nlet b xs = List.hd xs");
@@ -89,32 +90,35 @@ let test_suppression () =
 
 let test_baseline () =
   let findings = lint "r1_violation.ml" in
-  let entries = Lint_engine.parse_baseline (String.concat "\n" (List.map Lint_engine.baseline_line findings)) in
-  let fresh, stale = Lint_engine.apply_baseline entries findings in
+  let entries = E.parse_baseline (String.concat "\n" (List.map E.baseline_line findings)) in
+  let fresh, stale = E.apply_baseline entries findings in
   Alcotest.(check int) "baselined findings are not fresh" 0 (List.length fresh);
   Alcotest.(check int) "no stale entries" 0 (List.length stale);
   (* line numbers are ignored: a moved finding still matches *)
-  let moved = List.map (fun f -> { f with Lint_finding.line = f.Lint_finding.line + 40 }) findings in
-  let fresh, stale = Lint_engine.apply_baseline entries moved in
+  let moved = List.map (fun f -> { f with F.line = f.F.line + 40 }) findings in
+  let fresh, stale = E.apply_baseline entries moved in
   Alcotest.(check int) "line drift keeps the match" 0 (List.length fresh);
   Alcotest.(check int) "line drift keeps entries used" 0 (List.length stale);
   (* an entry matching nothing is reported stale *)
-  let unrelated =
-    Lint_engine.parse_baseline "lib/nowhere.ml\tR3\tpartial `List.hd`: match on the list"
-  in
-  let fresh, stale = Lint_engine.apply_baseline unrelated findings in
+  let unrelated = E.parse_baseline "lib/nowhere.ml\tR3\tpartial `List.hd`: match on the list" in
+  let fresh, stale = E.apply_baseline unrelated findings in
   Alcotest.(check int) "unmatched findings stay fresh" (List.length findings) (List.length fresh);
   Alcotest.(check int) "unmatched entry is stale" 1 (List.length stale)
+
+(* the checked-in baseline must stay empty: new findings are fixed at
+   the source or suppressed inline, never parked *)
+let test_baseline_is_empty () =
+  let entries =
+    match E.load_baseline "../tools/lint/baseline.txt" with
+    | Ok entries -> entries
+    | Error msg -> Alcotest.failf "load_baseline: %s" msg
+  in
+  Alcotest.(check int) "tools/lint/baseline.txt is empty" 0 (List.length entries)
 
 (* ------------------------------------------------- lib/ is lint-clean *)
 
 let test_lib_clean () =
-  let entries =
-    match Lint_engine.load_baseline "../tools/lint/baseline.txt" with
-    | Ok entries -> entries
-    | Error msg -> Alcotest.failf "load_baseline: %s" msg
-  in
-  let files = Lint_engine.collect_ml_files [ "../lib" ] in
+  let files = E.collect_ml_files [ "../lib" ] in
   Alcotest.(check bool) "found lib sources" true (List.length files > 20);
   let findings =
     List.concat_map
@@ -124,19 +128,18 @@ let test_lib_clean () =
         | Error msg -> Alcotest.failf "lint_file %s: %s" file msg)
       files
   in
-  let fresh, _stale = Lint_engine.apply_baseline entries findings in
-  Alcotest.(check (list string))
-    "lib/ lint-clean against baseline" []
-    (List.map Lint_finding.to_human fresh)
+  Alcotest.(check (list string)) "lib/ is lint-clean" [] (List.map F.to_human findings)
 
 let suite =
   [
     Alcotest.test_case "R1 determinism" `Quick test_r1;
+    Alcotest.test_case "R1 aliased opens" `Quick test_r1_aliases;
     Alcotest.test_case "R2 float comparison" `Quick test_r2;
     Alcotest.test_case "R3 totality" `Quick test_r3;
     Alcotest.test_case "R4 polymorphic compare" `Quick test_r4;
     Alcotest.test_case "clean fixture" `Quick test_clean;
     Alcotest.test_case "suppression comments" `Quick test_suppression;
     Alcotest.test_case "baseline filtering" `Quick test_baseline;
+    Alcotest.test_case "baseline stays empty" `Quick test_baseline_is_empty;
     Alcotest.test_case "lib/ is lint-clean" `Quick test_lib_clean;
   ]

@@ -8,23 +8,26 @@ module B = Dcache_baselines
 
 let unit = Cost_model.unit
 
+module I = Dcache_experiments.Instances
+
 (* ------------------------------------------------ paper worked examples *)
 
 let fig6_c_vector () =
-  let r = Offline_dp.solve unit (fig6 ()) in
+  let r = Offline_dp.solve I.fig6_model (fig6 ()) in
   let c = Offline_dp.c r in
-  let expected = [| 0.0; 1.5; 2.8; 4.1; 4.4; 6.5; 7.1; 8.9; 10.3 |] in
+  (* C(0) .. C(7) as stated in the paper's text, plus the final C(8) *)
+  let expected = Array.append I.fig6_expected_c [| 10.3 |] in
   Array.iteri (fun i e -> check_float (Printf.sprintf "C(%d)" i) e c.(i)) expected
 
 let fig6_d_vector () =
-  let r = Offline_dp.solve unit (fig6 ()) in
+  let r = Offline_dp.solve I.fig6_model (fig6 ()) in
   let d = Offline_dp.d r in
   (* the first request on each server cannot be served by cache *)
   List.iter (fun i -> Alcotest.(check bool) (Printf.sprintf "D(%d) = inf" i) true (d.(i) = infinity)) [ 1; 2; 3 ];
-  check_float "D(4)" 4.4 d.(4);
+  check_float "D(4)" I.fig6_expected_d4 d.(4);
   check_float "D(5)" 6.5 d.(5);
   check_float "D(6)" 7.1 d.(6);
-  check_float "D(7)" 9.2 d.(7);
+  check_float "D(7)" I.fig6_expected_d7 d.(7);
   check_float "D(8)" 10.3 d.(8)
 
 let fig6_pivots () =
@@ -45,12 +48,14 @@ let fig6_bounds () =
 
 let fig2_costs () =
   let seq = fig2 () in
-  let r = Offline_dp.solve unit seq in
+  let r = Offline_dp.solve I.fig2_model seq in
   let sched = Offline_dp.schedule r in
-  check_float "total 7.2" 7.2 (Offline_dp.cost r);
-  check_float "caching 3.2" 3.2 (Schedule.caching_cost unit sched);
-  check_float "transfers 4.0" 4.0 (Schedule.transfer_cost unit sched);
-  Alcotest.(check int) "4 transfers" 4 (Schedule.num_transfers sched);
+  check_float "total 7.2" I.fig2_expected_total (Offline_dp.cost r);
+  check_float "caching 3.2" I.fig2_expected_caching (Schedule.caching_cost unit sched);
+  check_float "transfers 4.0"
+    (float_of_int I.fig2_expected_transfers)
+    (Schedule.transfer_cost unit sched);
+  Alcotest.(check int) "4 transfers" I.fig2_expected_transfers (Schedule.num_transfers sched);
   Alcotest.(check bool) "standard form" true (Schedule.is_standard_form seq sched)
 
 (* --------------------------------------------------------- degenerate *)

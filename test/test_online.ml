@@ -196,6 +196,18 @@ let window_override_changes_behaviour () =
   | _ -> Alcotest.fail "wide window should hit");
   ()
 
+let fig7_instance_consistent () =
+  (* the paper's Fig. 7 walkthrough instance: the SC run must honour
+     the counted-transfer total-cost identity and stay 3-competitive *)
+  let model, seq = Dcache_experiments.Instances.fig7 () in
+  let run = Online_sc.run model seq in
+  Alcotest.(check bool) "at least one transfer" true (run.num_transfers >= 1);
+  check_float "total = caching + counted transfers" run.total_cost
+    (Cost_model.add model ~caching:run.caching_cost ~transfers:run.num_transfers);
+  Dcache_prelude.Float_cmp.approx_le run.total_cost
+    (Online_sc.competitive_bound *. opt model seq)
+  |> Alcotest.(check bool) "3-competitive" true
+
 (* ---------------------------------------------------- double transfer *)
 
 let dt_cost_equality =
@@ -303,6 +315,7 @@ let suite =
     case "sc: tiny epochs never help" epoching_never_cheaper_than_unbounded;
     case "sc: rejects bad arguments" rejects_bad_arguments;
     case "sc: window override changes serving" window_override_changes_behaviour;
+    case "sc: fig7 instance is consistent" fig7_instance_consistent;
     dt_cost_equality;
     dt_weights_bounded;
     dt_transfer_count_matches;

@@ -322,6 +322,40 @@ let table_renders () =
     (let row = List.nth lines 2 in
      row.[String.length row - 1] = '1')
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let stats_kahan () =
+  (* naive summation drops the unit next to 1e16; Neumaier keeps it *)
+  let xs = [| 1e16; 1.0; -1e16 |] in
+  check_float "naive loses the bit" 0.0 (Array.fold_left ( +. ) 0. xs);
+  check_float "kahan_sum keeps it" 1.0 (Stats.kahan_sum xs);
+  let k = Stats.kahan_create () in
+  Array.iter (Stats.kahan_add k) xs;
+  check_float "incremental total" 1.0 (Stats.kahan_total k);
+  check_float "empty accumulator" 0.0 (Stats.kahan_total (Stats.kahan_create ()));
+  (* a non-finite term keeps the IEEE sum instead of going nan *)
+  let inf = Stats.kahan_create () in
+  Stats.kahan_add inf infinity;
+  Stats.kahan_add inf 1.0;
+  Alcotest.(check bool) "inf stays inf" true (Stats.kahan_total inf = infinity)
+
+let stats_histogram_renders () =
+  let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.6; 3.9; 5.0 |] in
+  let rendered = Format.asprintf "%a" Stats.pp_histogram h in
+  Alcotest.(check bool) "draws bars" true (contains rendered "#");
+  Alcotest.(check bool) "reports overflow" true (contains rendered "overflow: 1")
+
+let table_float_rows () =
+  let t = Table.create [ Table.column "a"; Table.column "b" ] in
+  Table.add_float_row t [ 1.5; 2.25 ];
+  Table.add_float_row ~prec:1 t [ 3.0; 0.125 ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "default precision" true (contains rendered "1.500");
+  Alcotest.(check bool) "explicit precision" true (contains rendered "0.1")
+
 let table_cell_mismatch () =
   let t = Table.create [ Table.column "a" ] in
   Alcotest.check_raises "mismatch" (Invalid_argument "Table.add_row: cell count mismatch")
@@ -355,6 +389,8 @@ let suite =
     case "stats: percentiles" stats_percentiles;
     case "stats: percentile on empty" stats_percentile_empty;
     case "stats: histogram binning" stats_histogram;
+    case "stats: histogram rendering" stats_histogram_renders;
+    case "stats: compensated summation" stats_kahan;
     case "stats: linear fit" stats_linear_fit;
     case "stats: log-log exponent" stats_loglog_slope;
     case "pqueue: sorted drain" pqueue_ordering;
@@ -373,4 +409,5 @@ let suite =
     case "table: rendering and alignment" table_renders;
     case "table: cell count mismatch" table_cell_mismatch;
     case "table: float formatting" table_float_formatting;
+    case "table: float rows" table_float_rows;
   ]

@@ -160,6 +160,18 @@ let engine_rejects_past_timer () =
 
 (* --------------------------------------------------------- heterogeneous *)
 
+let homogeneous_costs_roundtrip () =
+  let model = Cost_model.make ~mu:2.0 ~lambda:5.0 () in
+  let costs = Sim.Engine.homogeneous model in
+  check_float "mu_of" 2.0 (costs.Sim.Engine.mu_of 3);
+  check_float "lambda_of" 5.0 (costs.Sim.Engine.lambda_of ~src:0 ~dst:2);
+  check_float "no uplink" infinity (costs.Sim.Engine.upload_of 1);
+  (* running with the explicit homogeneous table must equal the default *)
+  let seq = Sequence.of_list ~m:3 [ (1, 1.0); (2, 2.0); (1, 3.0) ] in
+  let explicit = Sim.Engine.run ~costs (module Sim.Sc_policy) model seq in
+  let implicit = Sim.Engine.run (module Sim.Sc_policy) model seq in
+  check_float "same bill" implicit.metrics.total_cost explicit.metrics.total_cost
+
 let heterogeneous_costs_respected () =
   (* one remote request; the transfer price depends on the pair *)
   let seq = Sequence.of_list ~m:3 [ (2, 1.0) ] in

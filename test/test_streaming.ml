@@ -87,6 +87,9 @@ let streaming_accessors () =
   let model = Cost_model.unit in
   let stream = Streaming_dp.create model ~m:4 in
   Alcotest.(check int) "empty n" 0 (Streaming_dp.n stream);
+  Alcotest.(check int) "m" 4 (Streaming_dp.m stream);
+  check_float "model lambda" model.Cost_model.lambda (Streaming_dp.model stream).Cost_model.lambda;
+  check_float "model mu" model.Cost_model.mu (Streaming_dp.model stream).Cost_model.mu;
   check_float "empty cost" 0.0 (Streaming_dp.cost stream);
   let seq = fig6 () in
   feed stream seq 8;

@@ -204,10 +204,40 @@ let adversary_ping_pong_two_servers () =
     Alcotest.(check int) "alternates with period 2" (Sequence.server seq (i - 2)) (Sequence.server seq i)
   done
 
+let adversary_families_stress_sc () =
+  let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+  List.iter
+    (fun (name, family) ->
+      let seq = family model ~m:4 ~n:24 in
+      Alcotest.(check int) (name ^ ": n") 24 (Sequence.n seq);
+      Alcotest.(check int) (name ^ ": m") 4 (Sequence.m seq);
+      let sc = Online_sc.run model seq in
+      let opt = Offline_dp.cost (Offline_dp.solve model seq) in
+      if not (Dcache_prelude.Float_cmp.approx_le opt sc.Online_sc.total_cost) then
+        Alcotest.failf "%s: SC billed below the offline optimum" name)
+    [ ("window_edge", W.Adversary.window_edge); ("burst_train", W.Adversary.burst_train) ]
+
 let adversary_rejects_degenerate () =
   Alcotest.(check bool) "m = 1" true
     (try ignore (W.Adversary.expiry_chaser Cost_model.unit ~m:1 ~n:5); false
      with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------ pretty-print *)
+
+let spec_and_stats_pretty_print () =
+  let spec =
+    {
+      W.Generator.m = 3;
+      n = 16;
+      arrival = W.Arrival.Poisson { rate = 1.0 };
+      placement = W.Placement.Uniform_random;
+    }
+  in
+  let rendered = Format.asprintf "%a" W.Generator.pp_spec spec in
+  Alcotest.(check bool) "spec renders" true (String.length rendered > 0);
+  let stats = W.Trace_stats.analyze (fig6 ()) in
+  let text = Format.asprintf "%a" W.Trace_stats.pp stats in
+  Alcotest.(check bool) "stats render" true (String.length text > 0)
 
 (* ---------------------------------------------------------------- trace io *)
 
@@ -309,6 +339,8 @@ let suite =
     case "adversary: expiry chaser gaps exceed the window" adversary_gaps;
     case "adversary: ping-pong alternates" adversary_ping_pong_two_servers;
     case "adversary: rejects m = 1" adversary_rejects_degenerate;
+    case "adversary: edge and burst families stress SC" adversary_families_stress_sc;
+    case "workload: spec and stats pretty-print" spec_and_stats_pretty_print;
     trace_roundtrip;
     case "trace_io: comments and headers" trace_parses_comments_and_header;
     case "trace_io: rejects malformed input" trace_rejects_garbage;

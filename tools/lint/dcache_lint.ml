@@ -1,17 +1,18 @@
 (* dcache_lint — repo-specific static analysis over Parsetrees.
 
-   Usage: dcache_lint [--json] [--baseline FILE] [--update-baseline]
-                      [--no-stale-check] PATH...
+   Usage: dcache_lint [--json] [--sarif FILE] [--baseline FILE]
+                      [--update-baseline] [--no-stale-check] PATH...
 
    PATHs are .ml files or directories (walked recursively, skipping
    _build and .git).  Exit status: 0 when no fresh findings, 1 when
    fresh findings (or stale baseline entries) remain, 2 on usage or
    I/O errors.  See docs/STATIC_ANALYSIS.md for the rule catalog. *)
 
-module F = Lint_finding
-module E = Lint_engine
+module F = Report_finding
+module E = Report_engine
 
 let json = ref false
+let sarif_file = ref ""
 let baseline_file = ref ""
 let update_baseline = ref false
 let stale_check = ref true
@@ -20,6 +21,7 @@ let roots = ref []
 let spec =
   [
     ("--json", Arg.Set json, " Emit findings as a JSON array instead of file:line:col lines");
+    ("--sarif", Arg.Set_string sarif_file, "FILE Also write findings as SARIF 2.1.0 to FILE");
     ("--baseline", Arg.Set_string baseline_file, "FILE Suppress findings listed in FILE");
     ( "--update-baseline",
       Arg.Set update_baseline,
@@ -43,7 +45,7 @@ let () =
   let findings, errors =
     List.fold_left
       (fun (fs, es) file ->
-        match E.lint_file file with Ok f -> (f @ fs, es) | Error e -> (fs, e :: es))
+        match Lint_engine.lint_file file with Ok f -> (f @ fs, es) | Error e -> (fs, e :: es))
       ([], []) files
   in
   List.iter prerr_endline (List.rev errors);
@@ -54,6 +56,8 @@ let () =
     let header =
       "# dcache_lint baseline: pre-existing findings that do not fail the build.\n\
        # One finding per line: path<TAB>rule<TAB>message (line numbers ignored).\n\
+       # This file is deliberately empty: new findings are fixed at the source\n\
+       # or suppressed inline with a reason (see docs/STATIC_ANALYSIS.md).\n\
        # Regenerate with: dune exec tools/lint/dcache_lint.exe -- \\\n\
        #   --baseline tools/lint/baseline.txt --update-baseline lib bin bench examples\n"
     in
@@ -68,6 +72,11 @@ let () =
     else match E.load_baseline !baseline_file with Ok b -> b | Error e -> die "%s" e
   in
   let fresh, stale = E.apply_baseline baseline findings in
+  if !sarif_file <> "" then
+    Out_channel.with_open_bin !sarif_file (fun oc ->
+        Out_channel.output_string oc
+          (Report_sarif.render ~tool_name:"dcache_lint" ~tool_version:"2"
+             ~rules:Lint_rules.catalog fresh));
   if !json then print_endline (F.to_json fresh)
   else List.iter (fun f -> print_endline (F.to_human f)) fresh;
   let stale_bad = !stale_check && stale <> [] in

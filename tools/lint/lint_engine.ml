@@ -1,4 +1,7 @@
-module F = Lint_finding
+module F = Report_finding
+module E = Report_engine
+
+let marker = "dcache-lint:"
 
 (* ------------------------------------------------------------- parsing *)
 
@@ -24,56 +27,6 @@ let parse ~path source =
   | exception exn -> (
       match syntax_error_message ~path exn with Some msg -> Error msg | None -> raise exn)
 
-(* --------------------------------------------------------- suppression *)
-
-let suppression_re rule_id line =
-  (* matches "dcache-lint: allow <id>" with <id> the rule or "all";
-     hand-rolled scan, Str is not linked *)
-  let marker = "dcache-lint:" in
-  let rec find_from i =
-    if i + String.length marker > String.length line then None
-    else if String.sub line i (String.length marker) = marker then Some (i + String.length marker)
-    else find_from (i + 1)
-  in
-  match find_from 0 with
-  | None -> false
-  | Some after ->
-      let rest = String.sub line after (String.length line - after) in
-      let words =
-        String.split_on_char ' ' rest
-        |> List.concat_map (String.split_on_char '\t')
-        |> List.filter (fun w -> w <> "")
-      in
-      (match words with
-      | "allow" :: ids ->
-          List.exists
-            (fun id ->
-              let id =
-                String.to_seq id
-                |> Seq.take_while (fun c -> c <> '*' && c <> ')' && c <> ',')
-                |> String.of_seq
-              in
-              id = rule_id || id = "all")
-            ids
-      | _ -> false)
-
-let apply_suppressions source findings =
-  let lines = String.split_on_char '\n' source |> Array.of_list in
-  let line_at n = if n >= 1 && n <= Array.length lines then lines.(n - 1) else "" in
-  (* a comment-only line suppresses the line below it; a trailing
-     comment suppresses its own line only *)
-  let comment_only n =
-    let trimmed = String.trim (line_at n) in
-    String.length trimmed >= 2 && String.sub trimmed 0 2 = "(*"
-  in
-  List.filter
-    (fun f ->
-      let id = F.rule_id f.F.rule in
-      not
-        (suppression_re id (line_at f.F.line)
-        || (comment_only (f.F.line - 1) && suppression_re id (line_at (f.F.line - 1)))))
-    findings
-
 (* ------------------------------------------------------------ linting *)
 
 let default_lib_scope path =
@@ -85,71 +38,11 @@ let lint_source ?lib_scope ~path source =
   match parse ~path source with
   | Error _ as e -> e
   | Ok structure ->
-      Ok (apply_suppressions source (Lint_rules.check_structure ~lib_scope ~path structure))
-
-let read_file path =
-  match In_channel.with_open_bin path In_channel.input_all with
-  | contents -> Ok contents
-  | exception Sys_error msg -> Error msg
+      Ok
+        (E.apply_suppressions ~marker source
+           (Lint_rules.check_structure ~lib_scope ~path structure))
 
 let lint_file ?lib_scope path =
-  match read_file path with
+  match E.read_file path with
   | Error _ as e -> e
   | Ok source -> lint_source ?lib_scope ~path source
-
-(* ------------------------------------------------------------ baseline *)
-
-type baseline_entry = { b_path : string; b_rule : string; b_message : string }
-
-let parse_baseline contents =
-  String.split_on_char '\n' contents
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         if line = "" || line.[0] = '#' then None
-         else
-           match String.split_on_char '\t' line with
-           | [ b_path; b_rule; b_message ] ->
-               Some { b_path = F.normalize_path b_path; b_rule; b_message }
-           | _ -> None)
-
-let load_baseline path =
-  match read_file path with Error _ as e -> e | Ok contents -> Ok (parse_baseline contents)
-
-let baseline_line f =
-  Printf.sprintf "%s\t%s\t%s" f.F.path (F.rule_id f.F.rule) f.F.message
-
-let matches entry f =
-  entry.b_path = f.F.path && entry.b_rule = F.rule_id f.F.rule && entry.b_message = f.F.message
-
-let apply_baseline entries findings =
-  let used = Array.make (List.length entries) false in
-  let fresh =
-    List.filter
-      (fun f ->
-        let covered = ref false in
-        List.iteri
-          (fun i entry ->
-            if matches entry f then begin
-              covered := true;
-              used.(i) <- true
-            end)
-          entries;
-        not !covered)
-      findings
-  in
-  let stale = List.filteri (fun i _ -> not used.(i)) entries in
-  (fresh, stale)
-
-(* ------------------------------------------------------ file discovery *)
-
-let rec walk acc path =
-  let base = Filename.basename path in
-  if base = "_build" || base = ".git" then acc
-  else if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort String.compare
-    |> List.fold_left (fun acc entry -> walk acc (Filename.concat path entry)) acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
-
-let collect_ml_files roots =
-  List.fold_left walk [] roots |> List.sort_uniq String.compare

@@ -1,47 +1,21 @@
-(** Driving the lint pass: parsing, suppression comments, baselines,
-    and file discovery.
+(** Driving the lint pass: parsing and rule application.
 
-    Suppression: a finding on line [l] is dropped when line [l]
-    contains a comment of the form [(* dcache-lint: allow R3 *)]
-    naming the finding's rule (or [allow all]), or when line [l-1] is
-    a comment-only line containing one — a trailing comment on a
-    code line never reaches the line below it.
+    Suppression comments (marker [dcache-lint:]), baselines, SARIF and
+    file discovery live in the shared [dcache_report] library
+    ({!Report_engine}, {!Report_sarif}) used by both this pass and the
+    cmt-based [dcache_sema]. *)
 
-    Baseline: a checked-in file of pre-existing findings, one per
-    line, [path<TAB>rule<TAB>message].  Matching ignores
-    line/column so unrelated edits don't invalidate entries; any
-    number of findings may match one entry.  Lines starting with [#]
-    and blank lines are comments. *)
+val marker : string
+(** ["dcache-lint:"] — the suppression-comment marker this pass
+    honours, e.g. [(* dcache-lint: allow R3 *)]. *)
 
 val lint_source :
-  ?lib_scope:bool -> path:string -> string -> (Lint_finding.t list, string) result
+  ?lib_scope:bool -> path:string -> string -> (Report_finding.t list, string) result
 (** Parses [source] as an OCaml implementation and runs every rule,
     then applies suppression comments.  [lib_scope] defaults to
     whether the normalised [path] lives under [lib/].  [Error] carries
     a located syntax-error message. *)
 
-val lint_file : ?lib_scope:bool -> string -> (Lint_finding.t list, string) result
+val lint_file : ?lib_scope:bool -> string -> (Report_finding.t list, string) result
 (** [lint_source] on the file's contents ([Error] also covers read
     failures). *)
-
-type baseline_entry = { b_path : string; b_rule : string; b_message : string }
-
-val parse_baseline : string -> baseline_entry list
-(** Parses baseline file {e contents} (not a path). *)
-
-val load_baseline : string -> (baseline_entry list, string) result
-(** Reads and parses a baseline file. *)
-
-val baseline_line : Lint_finding.t -> string
-(** The baseline line that would suppress this finding. *)
-
-val apply_baseline :
-  baseline_entry list -> Lint_finding.t list -> Lint_finding.t list * baseline_entry list
-(** [apply_baseline entries findings] is [(fresh, stale)]: the
-    findings not covered by any entry, and the entries that matched
-    nothing (candidates for deletion). *)
-
-val collect_ml_files : string list -> string list
-(** Expands each argument — a [.ml] file or a directory walked
-    recursively — into a sorted list of [.ml] paths.  Skips [_build],
-    [.git], and anything that is neither. *)

@@ -1,17 +1,94 @@
 open Parsetree
-module F = Lint_finding
+module F = Report_finding
 
 (* ---------------------------------------------------------------- paths *)
 
 (* [Longident.flatten] with a leading [Stdlib] (or labelled stdlib
    alias) stripped, so [Stdlib.Random.int] and [Random.int] look the
    same to every rule. *)
-let flatten_ident lid =
-  match Longident.flatten lid with
+let strip_stdlib = function
   | ("Stdlib" | "StdLabels" | "MoreLabels") :: rest -> rest
   | parts -> parts
 
+let flatten_ident lid = strip_stdlib (Longident.flatten lid)
 let last_component parts = List.nth_opt parts (List.length parts - 1)
+
+(* ------------------------------------------------- alias resolution *)
+
+(* `module R = Random` (top-level, in a sub-structure, or as
+   `let module R = ... in`) makes [R.int] an ambient-randomness call
+   that the textual module path hides; so does `open Random` followed
+   by a bare [int].  A pre-pass collects every module alias and every
+   opened module path in the file; rules then resolve identifiers
+   through the alias map before matching.  Scoping is deliberately
+   flattened file-wide: a lint over-approximating scopes may produce a
+   suppressible false positive, while respecting scopes would
+   reintroduce the false negative this pass exists to close. *)
+
+type resolver = {
+  aliases : (string * string list) list;  (* alias name -> target path *)
+  opened : string list list;  (* resolved paths of every `open` *)
+}
+
+let resolve resolver parts =
+  (* follow alias chains with fuel so `module A = B  module B = A`
+     cannot loop *)
+  let rec go fuel parts =
+    if fuel = 0 then parts
+    else
+      match parts with
+      | head :: rest -> (
+          match List.assoc_opt head resolver.aliases with
+          | Some target -> go (fuel - 1) (strip_stdlib (target @ rest))
+          | None -> parts)
+      | [] -> []
+  in
+  go 8 (strip_stdlib parts)
+
+let collect_resolver structure =
+  let aliases = ref [] and opens = ref [] in
+  let add_alias name lid = aliases := (name, flatten_ident lid) :: !aliases in
+  let module_binding (mb : module_binding) =
+    match (mb.pmb_name.txt, mb.pmb_expr.pmod_desc) with
+    | Some name, Pmod_ident { txt; _ } -> add_alias name txt
+    | _ -> ()
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      module_binding =
+        (fun self mb ->
+          module_binding mb;
+          Ast_iterator.default_iterator.module_binding self mb);
+      expr =
+        (fun self expr ->
+          (match expr.pexp_desc with
+          | Pexp_letmodule ({ txt = Some name; _ }, { pmod_desc = Pmod_ident { txt; _ }; _ }, _)
+            ->
+              add_alias name txt
+          | Pexp_open ({ popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }, _) ->
+              opens := flatten_ident txt :: !opens
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self expr);
+      open_declaration =
+        (fun self od ->
+          (match od.popen_expr.pmod_desc with
+          | Pmod_ident { txt; _ } -> opens := flatten_ident txt :: !opens
+          | _ -> ());
+          Ast_iterator.default_iterator.open_declaration self od);
+    }
+  in
+  iterator.structure iterator structure;
+  let resolver = { aliases = List.rev !aliases; opened = [] } in
+  { resolver with opened = List.map (resolve resolver) !opens }
+
+(* values of [Random] that a bare identifier can reach after
+   `open Random` (or an open of an alias of it) *)
+let random_values =
+  [
+    "init"; "full_init"; "self_init"; "bits"; "int"; "full_int"; "int32"; "int64";
+    "nativeint"; "float"; "bool"; "bits32"; "bits64"; "get_state"; "set_state"; "split";
+  ]
 
 (* -------------------------------------------------------- rule tables *)
 
@@ -41,6 +118,14 @@ let schedule_valued =
     [ "Schedule"; "empty" ];
     [ "Schedule"; "union" ];
     [ "Request"; "make" ];
+  ]
+
+let catalog =
+  [
+    ("R1", "determinism: ambient randomness or unordered Hashtbl traversal");
+    ("R2", "float comparison: exact =, <>, compare, min, max on cost-valued floats");
+    ("R3", "totality: partial stdlib functions and bare failwith in lib/");
+    ("R4", "polymorphic compare on Schedule.t / Request.t values");
   ]
 
 (* ------------------------------------------------- expression predicates *)
@@ -109,19 +194,26 @@ let check_structure ~lib_scope ~path structure =
   let findings = ref [] in
   let add ~loc rule message = findings := F.make ~path ~loc ~rule message :: !findings in
   let in_rng_module = Filename.check_suffix (F.normalize_path path) rng_module_file in
+  let resolver = collect_resolver structure in
+  let random_opened = List.exists (function "Random" :: _ -> true | _ -> false) resolver.opened in
 
   let check_ident ~loc lid =
-    let parts = flatten_ident lid in
+    let parts = resolve resolver (Longident.flatten lid) in
     (* R1: ambient randomness *)
     (match parts with
     | "Random" :: _ when not in_rng_module ->
-        add ~loc F.R1
+        add ~loc "R1"
           (Printf.sprintf
              "`%s` breaks seed-reproducibility: draw from `Dcache_prelude.Rng` instead"
              (String.concat "." parts))
+    | [ name ] when random_opened && List.mem name random_values && not in_rng_module ->
+        add ~loc "R1"
+          (Printf.sprintf
+             "`%s` reaches `Random.%s` through an `open`: draw from `Dcache_prelude.Rng` instead"
+             name name)
     | "Hashtbl" :: _ when List.mem (Option.value ~default:"" (last_component parts)) [ "fold"; "iter" ]
       ->
-        add ~loc F.R1
+        add ~loc "R1"
           (Printf.sprintf
              "`%s` visits bindings in nondeterministic order: sort the result before it feeds \
               any aggregate"
@@ -130,7 +222,7 @@ let check_structure ~lib_scope ~path structure =
     (* R3: partiality, library code only *)
     if lib_scope then
       match List.assoc_opt parts r3_banned with
-      | Some message -> add ~loc F.R3 message
+      | Some message -> add ~loc "R3" message
       | None -> ()
   in
 
@@ -141,7 +233,7 @@ let check_structure ~lib_scope ~path structure =
         let floaty = List.exists is_floaty positional in
         let schedule_ish = List.exists is_schedule_valued positional in
         if floaty then
-          add ~loc F.R2
+          add ~loc "R2"
             (Printf.sprintf
                "exact `%s` on a float cost: equal costs differ by ulps across recurrence paths; \
                 use `Float_cmp.%s`"
@@ -151,7 +243,7 @@ let check_structure ~lib_scope ~path structure =
                | "compare" -> "compare_approx"
                | _ -> "approx_le / explicit tie-break"));
         if schedule_ish && List.mem op comparison_heads then
-          add ~loc F.R4
+          add ~loc "R4"
             (Printf.sprintf
                "polymorphic `%s` on a Schedule.t/Request.t value is tolerance-blind on float \
                 fields: compare costs via `Float_cmp` or use the module's own comparator"

@@ -6,7 +6,9 @@
     - {b R1 determinism} — all randomness flows through
       [Dcache_prelude.Rng]; [Hashtbl.fold]/[Hashtbl.iter] visit
       bindings in nondeterministic order and must not feed results
-      onward unsorted.
+      onward unsorted.  Module aliases ([module R = Random]) and
+      [open Random] are resolved by a pre-pass, so neither evades the
+      rule.
     - {b R2 float comparison} — exact [=], [<>], [compare], [min],
       [max] on cost-valued expressions; equal costs computed along
       different recurrence paths differ by ulps, so comparisons must
@@ -18,8 +20,11 @@
       [Schedule.t] or [Request.t] values; their float fields make
       polymorphic equality tolerance-blind. *)
 
+val catalog : (string * string) list
+(** [(rule id, short description)] for every rule, for SARIF output. *)
+
 val check_structure :
-  lib_scope:bool -> path:string -> Parsetree.structure -> Lint_finding.t list
+  lib_scope:bool -> path:string -> Parsetree.structure -> Report_finding.t list
 (** Runs every rule over one parsed implementation.  [path] is
     recorded in the findings and decides the [lib/prelude/rng.ml]
     exemption from R1; [lib_scope] enables R3.  Findings come back

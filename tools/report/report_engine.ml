@@ -1,0 +1,115 @@
+module F = Report_finding
+
+(* --------------------------------------------------------------- files *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Ok contents
+  | exception Sys_error msg -> Error msg
+
+let rec walk ~suffixes ~skip acc path =
+  let base = Filename.basename path in
+  if skip base then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc entry -> walk ~suffixes ~skip acc (Filename.concat path entry)) acc
+  else if List.exists (fun s -> Filename.check_suffix path s) suffixes then path :: acc
+  else acc
+
+let default_skip base = base = "_build" || base = ".git"
+
+let collect_files ?(skip = default_skip) ~suffixes roots =
+  List.fold_left (walk ~suffixes ~skip) [] roots |> List.sort_uniq String.compare
+
+let collect_ml_files roots = collect_files ~suffixes:[ ".ml" ] roots
+
+(* --------------------------------------------------------- suppression *)
+
+(* "<marker> allow <id> ..." with <id> the rule or "all"; hand-rolled
+   scan, Str is not linked. *)
+let suppression_allows ~marker ~rule line =
+  let rec find_from i =
+    if i + String.length marker > String.length line then None
+    else if String.sub line i (String.length marker) = marker then Some (i + String.length marker)
+    else find_from (i + 1)
+  in
+  match find_from 0 with
+  | None -> false
+  | Some after ->
+      let rest = String.sub line after (String.length line - after) in
+      let words =
+        String.split_on_char ' ' rest
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      (match words with
+      | "allow" :: ids ->
+          List.exists
+            (fun id ->
+              let id =
+                String.to_seq id
+                |> Seq.take_while (fun c -> c <> '*' && c <> ')' && c <> ',')
+                |> String.of_seq
+              in
+              id = rule || id = "all")
+            ids
+      | _ -> false)
+
+let apply_suppressions ~marker source findings =
+  let lines = String.split_on_char '\n' source |> Array.of_list in
+  let line_at n = if n >= 1 && n <= Array.length lines then lines.(n - 1) else "" in
+  (* a comment-only line suppresses the line below it; a trailing
+     comment suppresses its own line only *)
+  let comment_only n =
+    let trimmed = String.trim (line_at n) in
+    String.length trimmed >= 2 && String.sub trimmed 0 2 = "(*"
+  in
+  List.filter
+    (fun f ->
+      let rule = f.F.rule in
+      not
+        (suppression_allows ~marker ~rule (line_at f.F.line)
+        || (comment_only (f.F.line - 1) && suppression_allows ~marker ~rule (line_at (f.F.line - 1)))))
+    findings
+
+(* ------------------------------------------------------------ baseline *)
+
+type baseline_entry = { b_path : string; b_rule : string; b_message : string }
+
+let parse_baseline contents =
+  String.split_on_char '\n' contents
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char '\t' line with
+           | [ b_path; b_rule; b_message ] ->
+               Some { b_path = F.normalize_path b_path; b_rule; b_message }
+           | _ -> None)
+
+let load_baseline path =
+  match read_file path with Error _ as e -> e | Ok contents -> Ok (parse_baseline contents)
+
+let baseline_line f = Printf.sprintf "%s\t%s\t%s" f.F.path f.F.rule f.F.message
+
+let matches entry f =
+  entry.b_path = f.F.path && entry.b_rule = f.F.rule && entry.b_message = f.F.message
+
+let apply_baseline entries findings =
+  let used = Array.make (List.length entries) false in
+  let fresh =
+    List.filter
+      (fun f ->
+        let covered = ref false in
+        List.iteri
+          (fun i entry ->
+            if matches entry f then begin
+              covered := true;
+              used.(i) <- true
+            end)
+          entries;
+        not !covered)
+      findings
+  in
+  let stale = List.filteri (fun i _ -> not used.(i)) entries in
+  (fresh, stale)

@@ -1,0 +1,45 @@
+(** Pass-agnostic machinery shared by [dcache_lint] (Parsetree) and
+    [dcache_sema] (Typedtree): file discovery, inline suppression
+    comments, and the checked-in baseline format.
+
+    Suppressions are keyed by a [marker] string ("dcache-lint:" or
+    "dcache-sema:") so each pass only honours its own comments. *)
+
+(** {1 Files} *)
+
+val read_file : string -> (string, string) result
+
+val collect_files :
+  ?skip:(string -> bool) -> suffixes:string list -> string list -> string list
+(** Walk [roots] recursively collecting files matching one of
+    [suffixes], sorted and deduplicated.  [skip] prunes directory or
+    file basenames; the default skips [_build] and [.git]. *)
+
+val collect_ml_files : string list -> string list
+
+(** {1 Inline suppressions} *)
+
+val suppression_allows : marker:string -> rule:string -> string -> bool
+(** Does this source line carry "<marker> allow <rule>" (or
+    "allow all")? *)
+
+val apply_suppressions : marker:string -> string -> Report_finding.t list -> Report_finding.t list
+(** [apply_suppressions ~marker source findings] drops findings
+    suppressed by a comment on their own line or on a comment-only
+    line directly above. *)
+
+(** {1 Baseline} *)
+
+type baseline_entry = { b_path : string; b_rule : string; b_message : string }
+
+val parse_baseline : string -> baseline_entry list
+(** One finding per non-comment line: [path<TAB>rule<TAB>message];
+    line numbers are deliberately not part of the format. *)
+
+val load_baseline : string -> (baseline_entry list, string) result
+val baseline_line : Report_finding.t -> string
+
+val apply_baseline :
+  baseline_entry list -> Report_finding.t list -> Report_finding.t list * baseline_entry list
+(** [(fresh, stale)]: findings not covered by any entry, and entries
+    that covered nothing. *)

@@ -1,17 +1,4 @@
-type rule = R1 | R2 | R3 | R4
-
-let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
-
-let rule_of_id = function
-  | "R1" -> Some R1
-  | "R2" -> Some R2
-  | "R3" -> Some R3
-  | "R4" -> Some R4
-  | _ -> None
-
-let all_rules = [ R1; R2; R3; R4 ]
-
-type t = { path : string; line : int; col : int; rule : rule; message : string }
+type t = { path : string; line : int; col : int; rule : string; message : string }
 
 let normalize_path path =
   let parts = String.split_on_char '/' path in
@@ -25,15 +12,11 @@ let normalize_path path =
   let parts = match parts with "_build" :: _context :: rest -> rest | parts -> parts in
   String.concat "/" parts
 
+let v ~path ~line ~col ~rule message = { path = normalize_path path; line; col; rule; message }
+
 let make ~path ~loc ~rule message =
   let pos = loc.Location.loc_start in
-  {
-    path = normalize_path path;
-    line = pos.Lexing.pos_lnum;
-    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
-    rule;
-    message;
-  }
+  v ~path ~line:pos.Lexing.pos_lnum ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol) ~rule message
 
 let compare a b =
   match String.compare a.path b.path with
@@ -41,12 +24,12 @@ let compare a b =
       match Int.compare a.line b.line with
       | 0 -> (
           match Int.compare a.col b.col with
-          | 0 -> String.compare (rule_id a.rule) (rule_id b.rule)
+          | 0 -> String.compare a.rule b.rule
           | c -> c)
       | c -> c)
   | c -> c
 
-let to_human f = Printf.sprintf "%s:%d:%d %s %s" f.path f.line f.col (rule_id f.rule) f.message
+let to_human f = Printf.sprintf "%s:%d:%d %s %s" f.path f.line f.col f.rule f.message
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -66,6 +49,6 @@ let to_json findings =
   let obj f =
     Printf.sprintf
       {|  {"path": "%s", "line": %d, "col": %d, "rule": "%s", "message": "%s"}|}
-      (json_escape f.path) f.line f.col (rule_id f.rule) (json_escape f.message)
+      (json_escape f.path) f.line f.col f.rule (json_escape f.message)
   in
   "[\n" ^ String.concat ",\n" (List.map obj findings) ^ "\n]"

@@ -1,0 +1,27 @@
+(** A single static-analysis finding, shared by every pass.
+
+    The rule is a free-form id ("R1".."R4" for the Parsetree lint,
+    "S1".."S4" for the cmt-based semantic pass) so the suppression,
+    baseline and SARIF machinery in {!Report_engine} / {!Report_sarif}
+    works for both without knowing the catalogs. *)
+
+type t = { path : string; line : int; col : int; rule : string; message : string }
+
+val normalize_path : string -> string
+(** Drops leading [./]/[../] segments and a [_build/<context>/] prefix
+    so findings compare stably whether produced from the source tree
+    or inside a dune action. *)
+
+val v : path:string -> line:int -> col:int -> rule:string -> string -> t
+
+val make : path:string -> loc:Location.t -> rule:string -> string -> t
+(** Anchor a finding at the start of a compiler location. *)
+
+val compare : t -> t -> int
+(** Path, then line, then column, then rule. *)
+
+val to_human : t -> string
+(** [path:line:col rule message]. *)
+
+val json_escape : string -> string
+val to_json : t list -> string

@@ -1,0 +1,55 @@
+module F = Report_finding
+
+(* Minimal SARIF 2.1.0: one run, one driver, one result per finding.
+   Enough for GitHub code-scanning upload and for IDE SARIF viewers;
+   schema validated against sarif-2.1.0.json. *)
+
+let result f =
+  Printf.sprintf
+    {|      {
+        "ruleId": "%s",
+        "level": "error",
+        "message": { "text": "%s" },
+        "locations": [
+          {
+            "physicalLocation": {
+              "artifactLocation": { "uri": "%s", "uriBaseId": "SRCROOT" },
+              "region": { "startLine": %d, "startColumn": %d }
+            }
+          }
+        ]
+      }|}
+    f.F.rule (F.json_escape f.F.message) (F.json_escape f.F.path) f.F.line (max 1 f.F.col)
+
+let rule_descriptor (id, description) =
+  Printf.sprintf
+    {|          { "id": "%s", "shortDescription": { "text": "%s" } }|}
+    id (F.json_escape description)
+
+let render ~tool_name ~tool_version ~rules findings =
+  Printf.sprintf
+    {|{
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "%s",
+          "version": "%s",
+          "informationUri": "https://github.com/dcache/dcache/blob/main/docs/STATIC_ANALYSIS.md",
+          "rules": [
+%s
+          ]
+        }
+      },
+      "results": [
+%s
+      ]
+    }
+  ]
+}
+|}
+    (F.json_escape tool_name) (F.json_escape tool_version)
+    (String.concat ",\n" (List.map rule_descriptor rules))
+    (String.concat ",\n" (List.map result findings))

@@ -1,0 +1,12 @@
+(** SARIF 2.1.0 rendering for findings of either analysis pass. *)
+
+val render :
+  tool_name:string ->
+  tool_version:string ->
+  rules:(string * string) list ->
+  Report_finding.t list ->
+  string
+(** [render ~tool_name ~tool_version ~rules findings] is a complete
+    SARIF log: [rules] lists [(id, short description)] for the tool's
+    catalog; each finding becomes an error-level result anchored at
+    its file, line and column. *)

@@ -1,0 +1,40 @@
+(* Digest-keyed incremental cache.
+
+   One entry per cmt file: the digest covers the cmt, its cmti, and
+   the source files suppression comments are read from, so any edit —
+   code, interface, or a suppression comment — invalidates exactly
+   that unit.  The payload is the per-unit analysis (local findings
+   post-suppression plus the export/use sets S3 is assembled from);
+   the cross-module S3 join is recomputed every run from cached parts,
+   which is why it can be cached per-file at all. *)
+
+type entry = { digest : string; analysis : Sema_rules.unit_analysis }
+
+let version = 3
+
+let digest_of_files paths =
+  paths
+  |> List.map (fun p -> match Digest.file p with d -> d | exception Sys_error _ -> "absent")
+  |> String.concat ""
+  |> Digest.string
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else
+    match
+      In_channel.with_open_bin path (fun ic ->
+          let v : int = Marshal.from_channel ic in
+          if v <> version then []
+          else (Marshal.from_channel ic : (string * entry) list))
+    with
+    | entries -> entries
+    | exception _ -> []
+
+let save path entries =
+  match
+    Out_channel.with_open_bin path (fun oc ->
+        Marshal.to_channel oc version [];
+        Marshal.to_channel oc (entries : (string * entry) list) [])
+  with
+  | () -> ()
+  | exception Sys_error _ -> ()

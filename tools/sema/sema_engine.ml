@@ -1,0 +1,157 @@
+module F = Report_finding
+module E = Report_engine
+
+let marker = "dcache-sema:"
+
+type stats = { units : int; cache_hits : int }
+
+(* ------------------------------------------------------- suppression *)
+
+(* Findings of one unit can anchor in two files (.ml for S1/S4, .mli
+   for S2/S3); suppression comments are read from whichever file a
+   finding points at, resolved against [source_root]. *)
+let suppress ~source_root findings =
+  let sources = Hashtbl.create 8 in
+  let source_for path =
+    match Hashtbl.find_opt sources path with
+    | Some s -> s
+    | None ->
+        let s =
+          match E.read_file (Filename.concat source_root path) with
+          | Ok s -> Some s
+          | Error _ -> None
+        in
+        Hashtbl.add sources path s;
+        s
+  in
+  List.filter
+    (fun f ->
+      match source_for f.F.path with
+      | None -> true
+      | Some source -> E.apply_suppressions ~marker source [ f ] <> [])
+    findings
+
+(* ------------------------------------------------------ per-unit step *)
+
+let unit_name_of_source ml_source =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename ml_source))
+
+let analyze_unit ~source_root (info : Sema_cmt.unit_info) =
+  match Sema_cmt.decode_unit info with
+  | Error _ as e -> e
+  | Ok None -> Ok { Sema_rules.ua_findings = []; ua_exports = []; ua_uses = [] }
+  | Ok (Some decoded) ->
+      let exports_with_docs =
+        match (decoded.intf, decoded.mli_source) with
+        | Some sg, Some mli_path -> Sema_rules.exports_of_interface ~mli_path sg
+        | _ -> []
+      in
+      let findings, uses =
+        match decoded.impl with
+        | None -> ([], [])
+        | Some structure ->
+            Sema_rules.check_implementation ~ml_path:decoded.ml_source
+              ~mli_vals:exports_with_docs structure
+      in
+      Ok
+        {
+          Sema_rules.ua_findings = suppress ~source_root findings;
+          ua_exports = List.map (fun (n, l, p, _doc) -> (n, l, p)) exports_with_docs;
+          ua_uses = uses;
+        }
+
+(* The digest covers the unit's cmt and cmti only: any source edit —
+   including a comment-only suppression edit — recompiles the cmt
+   (its header embeds the source digest), so hashing the binary
+   artifacts alone keys the cache without decoding anything on the
+   hit path. *)
+let unit_digest (info : Sema_cmt.unit_info) =
+  Sema_cache.digest_of_files (info.cmt_path :: Option.to_list info.cmti_path)
+
+(* ----------------------------------------------------------- S3 join *)
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let s3_findings ~scope units =
+  (* liveness: (unit, value) used from any cmt in a different dune
+     library (tests, bin, examples and sibling libs all count) *)
+  let used = Hashtbl.create 256 in
+  List.iter
+    (fun ((info : Sema_cmt.unit_info), (ua : Sema_rules.unit_analysis), _name) ->
+      List.iter
+        (fun use ->
+          let libs = Option.value ~default:[] (Hashtbl.find_opt used use) in
+          if not (List.mem info.library libs) then Hashtbl.replace used use (info.library :: libs))
+        ua.ua_uses)
+    units;
+  List.concat_map
+    (fun ((info : Sema_cmt.unit_info), (ua : Sema_rules.unit_analysis), unit_name) ->
+      List.filter_map
+        (fun (value, line, mli_path) ->
+          let mli_path = F.normalize_path mli_path in
+          if not (has_prefix scope mli_path) then None
+          else
+            let external_user =
+              match Hashtbl.find_opt used (unit_name, value) with
+              | None -> false
+              | Some libs -> List.exists (fun l -> l <> info.library) libs
+            in
+            if external_user then None
+            else
+              Some
+                (F.v ~path:mli_path ~line ~col:0 ~rule:"S3"
+                   (Printf.sprintf
+                      "`val %s` is never referenced outside its own library: delete the export \
+                       or keep it with a reasoned suppression"
+                      value)))
+        ua.ua_exports)
+    units
+
+(* --------------------------------------------------------------- run *)
+
+let run ?cache_file ?(scope = "lib/") ~source_root roots =
+  let infos = Sema_cmt.scan_units roots in
+  let cache = match cache_file with None -> [] | Some f -> Sema_cache.load f in
+  let hits = ref 0 in
+  let errors = ref [] in
+  let units, cache' =
+    List.fold_left
+      (fun (units, cache') info ->
+        let digest = unit_digest info in
+        let cached =
+          match List.assoc_opt info.Sema_cmt.cmt_path cache with
+          | Some entry when entry.Sema_cache.digest = digest -> Some entry.Sema_cache.analysis
+          | _ -> None
+        in
+        let analysis =
+          match cached with
+          | Some a ->
+              incr hits;
+              Some a
+          | None -> (
+              match analyze_unit ~source_root info with
+              | Ok a -> Some a
+              | Error e ->
+                  errors := e :: !errors;
+                  None)
+        in
+        match analysis with
+        | None -> (units, cache')
+        | Some a ->
+            let name = unit_name_of_source (Filename.basename info.cmt_path) in
+            ( (info, a, Sema_rules.strip_mangling name) :: units,
+              (info.Sema_cmt.cmt_path, { Sema_cache.digest; analysis = a }) :: cache' ))
+      ([], []) infos
+  in
+  let units = List.rev units in
+  (match cache_file with None -> () | Some f -> Sema_cache.save f (List.rev cache'));
+  let local =
+    List.concat_map
+      (fun (_, (ua : Sema_rules.unit_analysis), _) ->
+        List.filter (fun f -> has_prefix scope f.F.path) ua.ua_findings)
+      units
+  in
+  let s3 = suppress ~source_root (s3_findings ~scope units) in
+  let findings = List.sort_uniq F.compare (local @ s3) in
+  (findings, { units = List.length units; cache_hits = !hits }, List.rev !errors)

@@ -1,0 +1,440 @@
+(* The S-rules: typed checks over one compilation unit's Typedtree,
+   read back from the .cmt/.cmti files dune produces with -bin-annot.
+
+   Everything here is intraprocedural and syntactic-over-types: rules
+   look at what an expression *is* (its type, its path after module
+   aliasing was resolved by the typechecker), not at what callees do.
+   docs/STATIC_ANALYSIS.md documents the limits. *)
+
+open Typedtree
+module F = Report_finding
+
+let catalog =
+  [
+    ("S1", "hot-path allocation: closures, tuples, lists, arrays or boxed floats in [@@hot] loops");
+    ("S2", "exception escape: undocumented exceptions escaping public lib/core / lib/baselines values");
+    ("S3", "dead export: .mli value never referenced outside its own library");
+    ("S4", "numeric stability: float cost accumulator folded with bare +. in a loop");
+  ]
+
+(* The per-unit result the engine caches (keyed by cmt+source digest):
+   local findings are post-suppression; S3 is assembled globally from
+   [exports]/[uses] afterwards. *)
+type unit_analysis = {
+  ua_findings : F.t list;
+  ua_exports : (string * int * string) list;  (* value, .mli line, .mli path *)
+  ua_uses : (string * string) list;  (* (unit, value) referenced via a module path *)
+}
+
+(* ---------------------------------------------------------------- paths *)
+
+(* Last path component and the enclosing module, with dune's
+   [lib__Unit] name mangling stripped so [Dcache_core__Streaming_dp.push]
+   and [Dcache_core.Streaming_dp.push] both key as (Streaming_dp, push). *)
+let strip_mangling name =
+  let n = String.length name in
+  let rec last_sep i =
+    if i < 0 then None
+    else if i + 1 < n && name.[i] = '_' && name.[i + 1] = '_' then Some i
+    else last_sep (i - 1)
+  in
+  match last_sep (n - 2) with
+  | Some i -> String.sub name (i + 2) (n - i - 2)
+  | None -> name
+
+let use_of_path p =
+  match p with
+  | Path.Pdot (prefix, value) ->
+      let head = function
+        | Path.Pident id -> Some (Ident.name id)
+        | Path.Pdot (_, name) -> Some name
+        | Path.Papply _ | Path.Pextra_ty _ -> None
+      in
+      (match head prefix with
+      | Some unit_name -> Some (strip_mangling unit_name, value)
+      | None -> None)
+  | Path.Pident _ | Path.Papply _ | Path.Pextra_ty _ -> None
+
+let path_is p full =
+  (* [full] like "Stdlib.raise"; Path.name prints without stamps *)
+  Path.name p = full
+
+(* ---------------------------------------------------------------- types *)
+
+let rec is_float_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | Types.Tpoly (ty, []) -> is_float_type ty
+  | _ -> false
+
+let is_arrow_type ty = match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+
+(* ----------------------------------------------------------- attributes *)
+
+let has_attr names attrs =
+  List.exists (fun (a : Parsetree.attribute) -> List.mem a.attr_name.txt names) attrs
+
+let is_hot vb = has_attr [ "hot"; "dcache.hot" ] vb.vb_attributes
+
+let doc_of_attrs attrs =
+  List.filter_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> "ocaml.doc" && a.attr_name.txt <> "doc" then None
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _;
+              };
+            ] ->
+            Some s
+        | _ -> None)
+    attrs
+  |> String.concat "\n"
+
+(* ------------------------------------------------------- S1: allocation *)
+
+(* Inside the for/while bodies of a [@@hot] function, flag the
+   allocations the typechecker can prove: closures (syntactic [fun]
+   and partial applications, whose type is still an arrow), tuples,
+   list cells, arrays, and floats boxed by being passed to [ref] or
+   stored under a non-float-array constructor. *)
+let scan_hot_loop_body ~path ~fname add body =
+  let alloc loc what =
+    add
+      (F.make ~path ~loc ~rule:"S1"
+         (Printf.sprintf "%s in the hot loop of `%s`: hoist it out or restructure (S1 bans \
+                          closures, tuples, lists, arrays and boxed floats in `[@@hot]` loops)"
+            what fname))
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_function _ -> alloc e.exp_loc "closure allocated"
+          | Texp_apply (_, _) when is_arrow_type e.exp_type ->
+              alloc e.exp_loc "partial application allocates a closure"
+          | Texp_tuple _ -> alloc e.exp_loc "tuple allocated"
+          | Texp_array _ -> alloc e.exp_loc "array allocated"
+          | Texp_construct (_, cd, args) ->
+              if cd.Types.cstr_name = "::" then alloc e.exp_loc "list cell allocated"
+              else if List.exists (fun a -> is_float_type a.exp_type) args then
+                alloc e.exp_loc
+                  (Printf.sprintf "constructor `%s` boxes a float argument" cd.Types.cstr_name)
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, (_, Some arg) :: _)
+            when path_is p "Stdlib.ref" && is_float_type arg.exp_type ->
+              alloc e.exp_loc "`ref` of a float allocates a box per iteration"
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body
+
+let check_s1 ~path add structure =
+  let scan_binding vb =
+    let fname =
+      match vb.vb_pat.pat_desc with Tpat_var (id, _) -> Ident.name id | _ -> "<binding>"
+    in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.exp_desc with
+            | Texp_for (_, _, _, _, _, body) -> scan_hot_loop_body ~path ~fname add body
+            | Texp_while (_, body) -> scan_hot_loop_body ~path ~fname add body
+            | _ -> ());
+            Tast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.expr it vb.vb_expr
+  in
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) -> List.iter (fun vb -> if is_hot vb then scan_binding vb) vbs
+      | _ -> ())
+    structure.str_items
+
+(* -------------------------------------------------- S2: exception escape *)
+
+(* Exceptions a public function raises directly (outside any [try]
+   body) must be named in an [@raise] doc clause of its .mli val, or
+   the function must return a [result].  Intraprocedural: exceptions
+   propagating through callees are each callee's contract. *)
+
+let try_spans structure =
+  let spans = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_try (body, _) -> spans := body.exp_loc :: !spans
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it structure;
+  !spans
+
+let loc_inside ~outer loc =
+  let s = outer.Location.loc_start and e = outer.Location.loc_end in
+  let p = loc.Location.loc_start in
+  p.Lexing.pos_cnum >= s.Lexing.pos_cnum && p.Lexing.pos_cnum <= e.Lexing.pos_cnum
+
+let raised_exceptions ~spans expr =
+  let acc = ref [] in
+  let note loc exn = if not (List.exists (fun l -> loc_inside ~outer:l loc) spans) then acc := (exn, loc) :: !acc in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+              if path_is p "Stdlib.invalid_arg" then note e.exp_loc "Invalid_argument"
+              else if path_is p "Stdlib.failwith" then note e.exp_loc "Failure"
+              else if path_is p "Stdlib.raise" || path_is p "Stdlib.raise_notrace" then
+                List.iter
+                  (fun (_, arg) ->
+                    match arg with
+                    | Some { exp_desc = Texp_construct (_, cd, _); _ } ->
+                        note e.exp_loc cd.Types.cstr_name
+                    | _ -> ())
+                  args
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it expr;
+  !acc
+
+let check_s2 ~spans ~mli_vals add structure =
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.vb_pat.pat_desc with
+              | Tpat_var (id, _) -> (
+                  let name = Ident.name id in
+                  match List.find_opt (fun (n, _, _, _) -> n = name) mli_vals with
+                  | None -> ()
+                  | Some (_, mli_line, mli_path, doc) ->
+                      let undocumented exn =
+                        not
+                          (let has_raise =
+                             (* any @raise clause plus the exception's name
+                                anywhere in the doc: formats vary *)
+                             let contains hay needle =
+                               let nl = String.length needle and hl = String.length hay in
+                               let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+                               go 0
+                             in
+                             contains doc "@raise" && contains doc exn
+                           in
+                           has_raise)
+                      in
+                      raised_exceptions ~spans vb.vb_expr
+                      |> List.iter (fun (exn, _loc) ->
+                             if undocumented exn then
+                               add
+                                 (F.v ~path:mli_path ~line:mli_line ~col:0 ~rule:"S2"
+                                    (Printf.sprintf
+                                       "`%s` can escape `val %s` but its doc has no `@raise %s`: \
+                                        document it or return a `result`"
+                                       exn name exn))))
+              | _ -> ())
+            vbs
+      | _ -> ())
+    structure.str_items
+
+(* ----------------------------------------------- S4: numeric stability *)
+
+(* In any loop body, [acc := !acc +. e] and [r.f <- r.f +. e] on a
+   float-typed, cost-named accumulator lose low-order bits one
+   request at a time; route them through [Stats.kahan_add] /
+   [Cost_model.add] so the project-wide tolerance keeps meaning. *)
+
+let costish name =
+  let name = String.lowercase_ascii name in
+  List.exists
+    (fun sub ->
+      let nl = String.length sub and hl = String.length name in
+      let rec go i = i + nl <= hl && (String.sub name i nl = sub || go (i + 1)) in
+      go 0)
+    [ "cost"; "total"; "sum"; "acc"; "caching"; "transfer"; "budget" ]
+
+let s4_message name =
+  Printf.sprintf
+    "float cost accumulator `%s` folded with bare `+.` in a loop drops low-order bits: \
+     accumulate via `Stats.kahan_add` or `Cost_model.add`"
+    name
+
+let scan_s4_loop_body ~path add body =
+  let is_plus p = path_is p "Stdlib.+." in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          (* acc := !acc +. e *)
+          | Texp_apply
+              ( { exp_desc = Texp_ident (pset, _, _); _ },
+                [ (_, Some { exp_desc = Texp_ident (target, _, _); _ }); (_, Some rhs) ] )
+            when path_is pset "Stdlib.:=" -> (
+              let name = Path.last target in
+              match rhs.exp_desc with
+              | Texp_apply ({ exp_desc = Texp_ident (pplus, _, _); _ }, operands)
+                when is_plus pplus
+                     && is_float_type rhs.exp_type
+                     && costish name
+                     && List.exists
+                          (fun (_, o) ->
+                            match o with
+                            | Some
+                                {
+                                  exp_desc =
+                                    Texp_apply
+                                      ( { exp_desc = Texp_ident (pbang, _, _); _ },
+                                        [ (_, Some { exp_desc = Texp_ident (src, _, _); _ }) ] );
+                                  _;
+                                } ->
+                                path_is pbang "Stdlib.!" && Path.same src target
+                            | _ -> false)
+                          operands ->
+                  add (F.make ~path ~loc:e.exp_loc ~rule:"S4" (s4_message name))
+              | _ -> ())
+          (* r.f <- r.f +. e *)
+          | Texp_setfield (_, _, label, rhs)
+            when is_float_type label.Types.lbl_arg && costish label.Types.lbl_name -> (
+              match rhs.exp_desc with
+              | Texp_apply ({ exp_desc = Texp_ident (pplus, _, _); _ }, operands)
+                when is_plus pplus
+                     && List.exists
+                          (fun (_, o) ->
+                            match o with
+                            | Some { exp_desc = Texp_field (_, _, label'); _ } ->
+                                label'.Types.lbl_name = label.Types.lbl_name
+                            | _ -> false)
+                          operands ->
+                  add (F.make ~path ~loc:e.exp_loc ~rule:"S4" (s4_message label.Types.lbl_name))
+              | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body
+
+let check_s4 ~path add structure =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_for (_, _, _, _, _, body) -> scan_s4_loop_body ~path add body
+          | Texp_while (_, body) -> scan_s4_loop_body ~path add body
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it structure
+
+(* ------------------------------------------------------- uses / exports *)
+
+(* Typedtree value paths are fully qualified through [open]s, but a
+   local [module G = Dcache_spacetime.Graph] alias is NOT expanded:
+   [G.make] keeps the path [G.make].  Collect every such alias and
+   chase it (aliases of aliases included) when keying uses, or every
+   consumer that abbreviates a library module would be invisible to
+   the S3 liveness graph. *)
+let unit_of_module_path = function
+  | Path.Pident id -> Some (strip_mangling (Ident.name id))
+  | Path.Pdot (_, name) -> Some (strip_mangling name)
+  | Path.Papply _ | Path.Pextra_ty _ -> None
+
+let collect_uses structure =
+  let aliases = Hashtbl.create 16 in
+  let uses = ref [] in
+  let rec alias_target m =
+    match m.mod_desc with
+    | Tmod_ident (p, _) -> unit_of_module_path p
+    | Tmod_constraint (me, _, _, _) -> alias_target me
+    | _ -> None
+  in
+  let note_alias id m =
+    match (id, alias_target m) with
+    | Some id, Some target -> Hashtbl.replace aliases (Ident.name id) target
+    | _ -> ()
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      module_binding =
+        (fun self mb ->
+          note_alias mb.mb_id mb.mb_expr;
+          Tast_iterator.default_iterator.module_binding self mb);
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_letmodule (id, _, _, m, _) -> note_alias id m
+          | Texp_ident (p, _, _) -> (
+              match use_of_path p with Some u -> uses := u :: !uses | None -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.structure it structure;
+  let rec chase fuel name =
+    if fuel <= 0 then name
+    else
+      match Hashtbl.find_opt aliases name with Some next -> chase (fuel - 1) next | None -> name
+  in
+  List.sort_uniq compare (List.map (fun (u, v) -> (chase 8 u, v)) !uses)
+
+let exports_of_interface ~mli_path signature =
+  List.filter_map
+    (fun (item : signature_item) ->
+      match item.sig_desc with
+      | Tsig_value vd ->
+          Some
+            ( Ident.name vd.val_id,
+              vd.val_loc.Location.loc_start.Lexing.pos_lnum,
+              mli_path,
+              doc_of_attrs vd.val_attributes )
+      | _ -> None)
+    signature.sig_items
+
+(* --------------------------------------------------------- entry points *)
+
+(* S2 applies where the paper's public contracts live; S4 is skipped
+   inside the module that implements the sanctioned accumulators. *)
+let s2_scope path =
+  let p = F.normalize_path path in
+  let starts prefix =
+    String.length p >= String.length prefix && String.sub p 0 (String.length prefix) = prefix
+  in
+  starts "lib/core/" || starts "lib/baselines/"
+
+let s4_exempt path = Filename.check_suffix (F.normalize_path path) "prelude/stats.ml"
+
+let check_implementation ~ml_path ~mli_vals structure =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  check_s1 ~path:ml_path add structure;
+  if s2_scope ml_path then begin
+    let spans = try_spans structure in
+    check_s2 ~spans ~mli_vals add structure
+  end;
+  if not (s4_exempt ml_path) then check_s4 ~path:ml_path add structure;
+  (List.sort_uniq F.compare !findings, collect_uses structure)
