@@ -6,7 +6,7 @@
 BUILD := _build/default
 SARIF := _build/sarif
 
-.PHONY: all build test lint sema sarif check bench bench-sema clean
+.PHONY: all build test lint sema sarif check bench bench-json bench-baseline perf-gate bench-sema clean
 
 all: build
 
@@ -36,6 +36,18 @@ check: build test sarif
 
 bench: build
 	dune exec bench/main.exe -- quick
+
+# machine-readable timing/allocation snapshot (see docs/PERFORMANCE.md)
+bench-json: build
+	dune exec bench/main.exe -- quick json BENCH_results.json
+
+# refresh the committed baseline the perf gate compares against
+bench-baseline: build
+	dune exec bench/main.exe -- quick json BENCH_baseline.json
+
+# fail on >25% regression of the streaming-push hot path vs the baseline
+perf-gate: build
+	dune exec bench/perf_gate.exe
 
 # cold vs. incremental wall-time of the sema pass
 bench-sema:

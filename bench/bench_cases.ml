@@ -1,0 +1,117 @@
+(* Shared measurement plumbing for bench/main.exe and
+   bench/perf_gate.exe: the bechamel configuration, the canonical
+   streaming-push benchmark the regression gate tracks, the direct
+   minor-words-per-push probe behind the zero-allocation budget, and
+   the git revision stamped into BENCH_results.json. *)
+
+open Bechamel
+open Toolkit
+open Dcache_core
+
+let model = Cost_model.make ~mu:1.0 ~lambda:2.0 ()
+
+let random_instance seed ~m ~n =
+  let rng = Dcache_prelude.Rng.create seed in
+  let clock = ref 0.0 in
+  let requests =
+    Array.init n (fun _ ->
+        clock := !clock +. Dcache_prelude.Rng.float_in rng 0.05 1.0;
+        Request.make ~server:(Dcache_prelude.Rng.int rng m) ~time:!clock)
+  in
+  Sequence.create_exn ~m requests
+
+(* ------------------------------------------------ the gated benchmark *)
+
+let push_group = "extensions"
+let push_name = "streaming push x1000 m=6"
+
+let streaming_push_test () =
+  let seq = random_instance 8 ~m:6 ~n:1000 in
+  Test.make ~name:push_name
+    (Staged.stage (fun () ->
+         let stream = Streaming_dp.create model ~m:6 in
+         for i = 1 to Sequence.n seq do
+           Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
+         done;
+         ignore (Streaming_dp.cost stream)))
+
+(* The flat-arena [Streaming_dp.push] allocates no per-request boxed
+   arrays; the only minor words left are the caller-side boxing of the
+   [~time] float argument (floats cross a non-inlined call boundary
+   boxed, ~2-3 words).  The budget below leaves room for that and
+   nothing else — the pre-arena implementation spent >= m + 2 words per
+   push on [Array.copy] and boxed accumulators and blows straight
+   through it. *)
+let max_words_per_push = 4.0
+
+let words_per_push () =
+  let m = 8 in
+  let n_warm = 4096 and n_measure = 16384 in
+  let rng = Dcache_prelude.Rng.create 2024 in
+  let total = n_warm + n_measure in
+  let servers = Array.init total (fun _ -> Dcache_prelude.Rng.int rng m) in
+  let times = Array.make total 0.0 in
+  let clock = ref 0.0 in
+  for i = 0 to total - 1 do
+    clock := !clock +. Dcache_prelude.Rng.float_in rng 0.1 1.0;
+    times.(i) <- !clock
+  done;
+  let stream = Streaming_dp.create model ~m in
+  for i = 0 to n_warm - 1 do
+    Streaming_dp.push stream ~server:servers.(i) ~time:times.(i)
+  done;
+  let before = Gc.minor_words () in
+  for i = n_warm to total - 1 do
+    Streaming_dp.push stream ~server:servers.(i) ~time:times.(i)
+  done;
+  let after = Gc.minor_words () in
+  (after -. before) /. float_of_int n_measure
+
+(* ----------------------------------------------------- measurement *)
+
+type row = { name : string; ns_per_run : float; minor_words_per_run : float }
+
+let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+
+let measure test =
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let raw = Benchmark.all cfg instances test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let time = Analyze.all ols Instance.monotonic_clock raw in
+  let words = Analyze.all ols Instance.minor_allocated raw in
+  let estimate table name =
+    match Hashtbl.find_opt table name with
+    | Some result -> (
+        match Analyze.OLS.estimates result with Some [ v ] -> v | Some _ | None -> nan)
+    | None -> nan
+  in
+  (* dcache-lint: allow R1 — fold order is immediately erased by the sort below *)
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) time [] in
+  let names = List.sort String.compare names in
+  List.map
+    (fun name -> { name; ns_per_run = estimate time name; minor_words_per_run = estimate words name })
+    names
+
+(* bechamel names grouped elements "<group>/<name>"; the JSON report
+   keeps the two separate. *)
+let strip_group ~group name =
+  let prefix = group ^ "/" in
+  let pl = String.length prefix in
+  if String.length name > pl && String.equal (String.sub name 0 pl) prefix then
+    String.sub name pl (String.length name - pl)
+  else name
+
+(* ------------------------------------------------------- git revision *)
+
+let git_rev () =
+  let line path = try In_channel.with_open_text path In_channel.input_line with _ -> None in
+  match line ".git/HEAD" with
+  | None -> "unknown"
+  | Some head -> (
+      let head = String.trim head in
+      if String.length head >= 5 && String.equal (String.sub head 0 5) "ref: " then
+        let r = String.sub head 5 (String.length head - 5) in
+        match line (Filename.concat ".git" r) with
+        | Some h -> String.trim h
+        | None -> "unknown"
+      else head)

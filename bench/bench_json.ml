@@ -1,0 +1,307 @@
+(* Minimal JSON for the bench trajectory: emission and parsing of
+   BENCH_results.json / BENCH_baseline.json.  The container carries no
+   JSON library and the format is ours, so this implements exactly the
+   subset the harness emits: objects, arrays, strings, finite numbers,
+   booleans and null (null carries non-finite measurements). *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of value list
+  | Obj of (string * value) list
+
+(* ------------------------------------------------------------- emission *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec emit b ~indent v =
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Num x ->
+      if Float.is_finite x then Buffer.add_string b (Printf.sprintf "%.9g" x)
+      else Buffer.add_string b "null"
+  | Str s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          emit b ~indent:(indent + 2) item)
+        items;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\": ";
+          emit b ~indent:(indent + 2) item)
+        fields;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b ~indent:0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* -------------------------------------------------------------- parsing *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some got when got = c -> advance ()
+    | Some got -> parse_error "expected %C at offset %d, got %C" c !pos got
+    | None -> parse_error "expected %C at offset %d, got end of input" c !pos
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else parse_error "bad literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> parse_error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then parse_error "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* the emitter only writes \u for control bytes *)
+              Buffer.add_char b (Char.chr (code land 0xff));
+              go ()
+          | _ -> parse_error "bad escape at offset %d" !pos)
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while (match peek () with Some c -> number_char c | None -> false) do
+      advance ()
+    done;
+    let lexeme = String.sub s start (!pos - start) in
+    match float_of_string_opt lexeme with
+    | Some f -> Num f
+    | None -> parse_error "bad number %S at offset %d" lexeme start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields_loop ()
+            | Some '}' -> advance ()
+            | _ -> parse_error "expected ',' or '}' at offset %d" !pos
+          in
+          fields_loop ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items_loop ()
+            | Some ']' -> advance ()
+            | _ -> parse_error "expected ',' or ']' at offset %d" !pos
+          in
+          items_loop ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> parse_error "unexpected end of input"
+  in
+  match parse_value () with
+  | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos) else Ok v
+  | exception Parse_error msg -> Error msg
+  | exception _ -> Error "malformed JSON"
+
+(* ------------------------------------------------------------ accessors *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_float = function Some (Num f) -> Some f | Some Null -> Some nan | _ -> None
+
+let to_str = function Some (Str s) -> Some s | _ -> None
+
+let to_list = function Some (Arr items) -> Some items | _ -> None
+
+(* ------------------------------------------------------- report schema *)
+
+type entry = {
+  group : string;
+  name : string;
+  ns_per_run : float;
+  mops_per_sec : float;
+  minor_words_per_run : float;
+}
+
+type report = {
+  schema : string;
+  git_rev : string;
+  domains : int;
+  quick : bool;
+  words_per_push : float;
+  entries : entry list;
+}
+
+let schema_id = "dcache-bench/1"
+
+let report_to_value r =
+  Obj
+    [
+      ("schema", Str r.schema);
+      ("git_rev", Str r.git_rev);
+      ("domains", Num (float_of_int r.domains));
+      ("quick", Bool r.quick);
+      ("streaming_push_minor_words_per_request", Num r.words_per_push);
+      ( "entries",
+        Arr
+          (List.map
+             (fun e ->
+               Obj
+                 [
+                   ("group", Str e.group);
+                   ("name", Str e.name);
+                   ("ns_per_run", Num e.ns_per_run);
+                   ("mops_per_sec", Num e.mops_per_sec);
+                   ("minor_words_per_run", Num e.minor_words_per_run);
+                 ])
+             r.entries) );
+    ]
+
+let report_to_string r = to_string (report_to_value r)
+
+let entry_of_value v =
+  match
+    ( to_str (member "group" v),
+      to_str (member "name" v),
+      to_float (member "ns_per_run" v),
+      to_float (member "mops_per_sec" v),
+      to_float (member "minor_words_per_run" v) )
+  with
+  | Some group, Some name, Some ns_per_run, Some mops_per_sec, Some minor_words_per_run ->
+      Ok { group; name; ns_per_run; mops_per_sec; minor_words_per_run }
+  | _ -> Error "entry: missing or mistyped field"
+
+let report_of_string text =
+  match of_string text with
+  | Error e -> Error e
+  | Ok v -> (
+      match
+        ( to_str (member "schema" v),
+          to_str (member "git_rev" v),
+          to_float (member "domains" v),
+          member "quick" v,
+          to_float (member "streaming_push_minor_words_per_request" v),
+          to_list (member "entries" v) )
+      with
+      | Some schema, Some git_rev, Some domains, Some (Bool quick), Some words_per_push, Some items
+        ->
+          let rec entries acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest -> (
+                match entry_of_value item with
+                | Ok e -> entries (e :: acc) rest
+                | Error _ as e -> e)
+          in
+          (match entries [] items with
+          | Ok entries ->
+              Ok { schema; git_rev; domains = int_of_float domains; quick; words_per_push; entries }
+          | Error e -> Error e)
+      | _ -> Error "report: missing or mistyped top-level field")
+
+let find_entry report ~group ~name =
+  List.find_opt (fun e -> e.group = group && e.name = name) report.entries

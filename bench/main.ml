@@ -3,65 +3,86 @@
    simulator), followed by the full regeneration of every experiment
    table (E1-E15 of DESIGN.md).
 
-     dune exec bench/main.exe            # full run
-     dune exec bench/main.exe -- quick   # reduced sweeps
-*)
+   Modes:
+
+     dune exec bench/main.exe                     # full: timings + tables
+     dune exec bench/main.exe -- quick            # reduced: drops the large
+                                                  #   timing cases (offline
+                                                  #   n=4000, online n=10000)
+                                                  #   and runs quick tables
+     dune exec bench/main.exe -- json FILE        # timings only, written to
+                                                  #   FILE as dcache-bench/1
+                                                  #   JSON (BENCH_results.json)
+     dune exec bench/main.exe -- quick json FILE  # both; this is how
+                                                  #   BENCH_baseline.json for
+                                                  #   bench/perf_gate.exe is
+                                                  #   produced (make
+                                                  #   bench-baseline)
+
+   JSON runs also probe the minor-word cost of [Streaming_dp.push]
+   directly and fail when it exceeds the zero-allocation budget
+   (Bench_cases.max_words_per_push). *)
 
 open Bechamel
-open Toolkit
 open Dcache_core
+open Dcache_bench_common
 
-let random_instance seed ~m ~n =
-  let rng = Dcache_prelude.Rng.create seed in
-  let clock = ref 0.0 in
-  let requests =
-    Array.init n (fun _ ->
-        clock := !clock +. Dcache_prelude.Rng.float_in rng 0.05 1.0;
-        Request.make ~server:(Dcache_prelude.Rng.int rng m) ~time:!clock)
-  in
-  Sequence.create_exn ~m requests
-
-let model = Cost_model.make ~mu:1.0 ~lambda:2.0 ()
+let model = Bench_cases.model
+let random_instance = Bench_cases.random_instance
 
 (* -------------------------------------------------------- timing groups *)
 
-let offline_tests =
+let offline_tests ~quick =
   let seq_1k_m8 = random_instance 1 ~m:8 ~n:1000 in
-  let seq_4k_m8 = random_instance 2 ~m:8 ~n:4000 in
   let seq_1k_m64 = random_instance 3 ~m:64 ~n:1000 in
+  let large =
+    if quick then []
+    else
+      let seq_4k_m8 = random_instance 2 ~m:8 ~n:4000 in
+      [
+        Test.make ~name:"fast-dp n=4000 m=8"
+          (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_4k_m8))));
+      ]
+  in
   Test.make_grouped ~name:"offline"
-    [
-      Test.make ~name:"fast-dp n=1000 m=8"
-        (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_1k_m8))));
-      Test.make ~name:"fast-dp n=4000 m=8"
-        (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_4k_m8))));
-      Test.make ~name:"fast-dp n=1000 m=64"
-        (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_1k_m64))));
-      Test.make ~name:"full-scan n=1000 m=8"
-        (Staged.stage (fun () -> ignore (Dcache_baselines.Naive_dp.solve model seq_1k_m8)));
-      Test.make ~name:"subset-dp n=1000 m=8"
-        (Staged.stage (fun () -> ignore (Dcache_baselines.Subset_dp.solve model seq_1k_m8)));
-      Test.make ~name:"reconstruct n=1000 m=8"
-        (let r = Offline_dp.solve model seq_1k_m8 in
-         Staged.stage (fun () -> ignore (Offline_dp.schedule r)));
-    ]
+    ([
+       Test.make ~name:"fast-dp n=1000 m=8"
+         (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_1k_m8))));
+       Test.make ~name:"fast-dp n=1000 m=64"
+         (Staged.stage (fun () -> ignore (Offline_dp.cost (Offline_dp.solve model seq_1k_m64))));
+       Test.make ~name:"full-scan n=1000 m=8"
+         (Staged.stage (fun () -> ignore (Dcache_baselines.Naive_dp.solve model seq_1k_m8)));
+       Test.make ~name:"subset-dp n=1000 m=8"
+         (Staged.stage (fun () -> ignore (Dcache_baselines.Subset_dp.solve model seq_1k_m8)));
+       Test.make ~name:"reconstruct n=1000 m=8"
+         (let r = Offline_dp.solve model seq_1k_m8 in
+          Staged.stage (fun () -> ignore (Offline_dp.schedule r)));
+     ]
+    @ large)
 
-let online_tests =
+let online_tests ~quick =
   let seq = random_instance 4 ~m:8 ~n:1000 in
-  let seq_dense = random_instance 5 ~m:8 ~n:10000 in
+  let large =
+    if quick then []
+    else
+      let seq_dense = random_instance 5 ~m:8 ~n:10000 in
+      [
+        Test.make ~name:"sc n=10000 m=8"
+          (Staged.stage (fun () -> ignore (Online_sc.run model seq_dense).Online_sc.total_cost));
+      ]
+  in
   Test.make_grouped ~name:"online"
-    [
-      Test.make ~name:"sc n=1000 m=8"
-        (Staged.stage (fun () -> ignore (Online_sc.run model seq).Online_sc.total_cost));
-      Test.make ~name:"sc n=10000 m=8"
-        (Staged.stage (fun () -> ignore (Online_sc.run model seq_dense).Online_sc.total_cost));
-      Test.make ~name:"sc+epochs n=1000"
-        (Staged.stage (fun () ->
-             ignore (Online_sc.run ~epoch_size:50 model seq).Online_sc.total_cost));
-      Test.make ~name:"double-transfer n=1000"
-        (let run = Online_sc.run model seq in
-         Staged.stage (fun () -> ignore (Double_transfer.of_run model run)));
-    ]
+    ([
+       Test.make ~name:"sc n=1000 m=8"
+         (Staged.stage (fun () -> ignore (Online_sc.run model seq).Online_sc.total_cost));
+       Test.make ~name:"sc+epochs n=1000"
+         (Staged.stage (fun () ->
+              ignore (Online_sc.run ~epoch_size:50 model seq).Online_sc.total_cost));
+       Test.make ~name:"double-transfer n=1000"
+         (let run = Online_sc.run model seq in
+          Staged.stage (fun () -> ignore (Double_transfer.of_run model run)));
+     ]
+    @ large)
 
 let policy_tests =
   let seq = random_instance 6 ~m:8 ~n:1000 in
@@ -101,18 +122,13 @@ let extension_tests =
   let hetero_costs =
     Dcache_baselines.Hetero_dp.make_costs_exn
       ~mu:(Array.init 5 (fun s -> 1.0 +. (0.3 *. float_of_int s)))
-      ~lambda:(Array.init 5 (fun i -> Array.init 5 (fun j -> if i = j then 0.0 else 2.0 +. (0.1 *. float_of_int (i + j)))))
+      ~lambda:
+        (Array.init 5 (fun i ->
+             Array.init 5 (fun j -> if i = j then 0.0 else 2.0 +. (0.1 *. float_of_int (i + j)))))
   in
   Test.make_grouped ~name:"extensions"
     [
-      Test.make ~name:"streaming push x1000 m=6"
-        (Staged.stage (fun () ->
-             let stream = Streaming_dp.create model ~m:6 in
-             for i = 1 to Sequence.n seq do
-               Streaming_dp.push stream ~server:(Sequence.server seq i)
-                 ~time:(Sequence.time seq i)
-             done;
-             ignore (Streaming_dp.cost stream)));
+      Bench_cases.streaming_push_test ();
       Test.make ~name:"predictive oracle n=1000"
         (Staged.stage (fun () ->
              ignore (Online_predictive.run (Online_predictive.oracle seq) model seq)));
@@ -137,31 +153,85 @@ let workload_tests =
                   })));
     ]
 
+let groups ~quick =
+  [
+    ("offline", offline_tests ~quick);
+    ("online", online_tests ~quick);
+    ("policies", policy_tests);
+    ("simulator", simulator_tests);
+    ("extensions", extension_tests);
+    ("workload", workload_tests);
+  ]
+
 (* ------------------------------------------------------------- reporting *)
 
-let run_group test =
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-  let instances = Instance.[ monotonic_clock ] in
-  let raw = Benchmark.all cfg instances test in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  (* dcache-lint: allow R1 — fold order is immediately erased by the sort below *)
-  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+let print_group (_, test) =
   List.iter
-    (fun (name, result) ->
-      match Analyze.OLS.estimates result with
-      | Some [ nanoseconds ] ->
-          Printf.printf "  %-40s %14.1f ns/run  (%10.4f ms)\n" name nanoseconds
-            (nanoseconds /. 1e6)
-      | Some _ | None -> Printf.printf "  %-40s (no estimate)\n" name)
-    rows
+    (fun row ->
+      if Float.is_finite row.Bench_cases.ns_per_run then
+        Printf.printf "  %-40s %14.1f ns/run  %12.1f minor words/run\n" row.Bench_cases.name
+          row.Bench_cases.ns_per_run row.Bench_cases.minor_words_per_run
+      else Printf.printf "  %-40s (no estimate)\n" row.Bench_cases.name)
+    (Bench_cases.measure test)
+
+let check_words_budget () =
+  let words = Bench_cases.words_per_push () in
+  Printf.printf "streaming push: %.3f minor words/request (budget %.1f)\n" words
+    Bench_cases.max_words_per_push;
+  if words > Bench_cases.max_words_per_push then begin
+    Printf.eprintf "bench: Streaming_dp.push allocates %.3f minor words/request, budget is %.1f\n"
+      words Bench_cases.max_words_per_push;
+    exit 1
+  end;
+  words
+
+let write_json ~quick path =
+  let entries =
+    List.concat_map
+      (fun (group, test) ->
+        List.map
+          (fun row ->
+            {
+              Bench_json.group;
+              name = Bench_cases.strip_group ~group row.Bench_cases.name;
+              ns_per_run = row.Bench_cases.ns_per_run;
+              mops_per_sec = 1e3 /. row.Bench_cases.ns_per_run;
+              minor_words_per_run = row.Bench_cases.minor_words_per_run;
+            })
+          (Bench_cases.measure test))
+      (groups ~quick)
+  in
+  let words_per_push = check_words_budget () in
+  let report =
+    {
+      Bench_json.schema = Bench_json.schema_id;
+      git_rev = Bench_cases.git_rev ();
+      domains = Dcache_prelude.Pool.default_domains ();
+      quick;
+      words_per_push;
+      entries;
+    }
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Bench_json.report_to_string report));
+  Printf.printf "wrote %d benchmark entries to %s\n" (List.length entries) path
 
 let () =
-  let quick = Array.exists (String.equal "quick") Sys.argv in
-  print_endline "== bechamel timing benchmarks (monotonic clock, OLS per-run estimates) ==";
-  List.iter run_group
-    [ offline_tests; online_tests; policy_tests; simulator_tests; extension_tests; workload_tests ];
-  print_newline ();
-  print_endline "== experiment tables (E1-E15; see DESIGN.md and EXPERIMENTS.md) ==";
-  Dcache_experiments.Experiments.run_all ~quick ()
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.exists (String.equal "quick") args in
+  let rec json_path = function
+    | "json" :: path :: _ -> Some path
+    | [ "json" ] ->
+        Printf.eprintf "usage: main [quick] [json FILE]\n";
+        exit 2
+    | _ :: rest -> json_path rest
+    | [] -> None
+  in
+  match json_path args with
+  | Some path -> write_json ~quick path
+  | None ->
+      print_endline "== bechamel timing benchmarks (monotonic clock, OLS per-run estimates) ==";
+      List.iter print_group (groups ~quick);
+      print_newline ();
+      print_endline "== experiment tables (E1-E15; see DESIGN.md and EXPERIMENTS.md) ==";
+      Dcache_experiments.Experiments.run_all ~quick ()

@@ -1,0 +1,80 @@
+(* Performance-regression gate over the DP hot path.
+
+   Usage: perf_gate [BASELINE.json]    (default: BENCH_baseline.json)
+
+   Re-measures the canonical streaming-push benchmark with bechamel
+   and compares it against the committed baseline.  Exits 1 when:
+
+   - the fresh ns/op exceeds 1.25x the baseline's for the
+     "extensions" / "streaming push x1000 m=6" entry,
+   - [Streaming_dp.push] allocates more than
+     [Bench_cases.max_words_per_push] minor words per request, or
+   - the baseline is missing, malformed, or lacks the gated entry.
+
+   Run it via `make perf-gate`; refresh the baseline with
+   `make bench-baseline` after an intentional performance change. *)
+
+open Dcache_bench_common
+
+let regression_factor = 1.25
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("perf-gate: " ^ s);
+      exit 1)
+    fmt
+
+let () =
+  let baseline_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_baseline.json" in
+  let text =
+    try In_channel.with_open_text baseline_path In_channel.input_all
+    with Sys_error e -> fail "cannot read baseline: %s" e
+  in
+  let baseline =
+    match Bench_json.report_of_string text with
+    | Ok r -> r
+    | Error e -> fail "cannot parse %s: %s" baseline_path e
+  in
+  if not (String.equal baseline.Bench_json.schema Bench_json.schema_id) then
+    fail "baseline %s has schema %S, expected %S" baseline_path baseline.Bench_json.schema
+      Bench_json.schema_id;
+  let base =
+    match
+      Bench_json.find_entry baseline ~group:Bench_cases.push_group ~name:Bench_cases.push_name
+    with
+    | Some e -> e
+    | None ->
+        fail "baseline %s lacks the %S / %S entry" baseline_path Bench_cases.push_group
+          Bench_cases.push_name
+  in
+  if not (Float.is_finite base.Bench_json.ns_per_run) then
+    fail "baseline %s has no finite ns/op for the gated entry" baseline_path;
+  (* a single 0.5 s bechamel quota is noisy on a loaded (or single-core)
+     machine; the minimum over a few runs is the robust per-op estimate,
+     since scheduler interference only ever inflates timings *)
+  let fresh_ns =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      match Bench_cases.measure (Bench_cases.streaming_push_test ()) with
+      | [ row ] when Float.is_finite row.Bench_cases.ns_per_run ->
+          if row.Bench_cases.ns_per_run < !best then best := row.Bench_cases.ns_per_run
+      | _ -> ()
+    done;
+    if Float.is_finite !best then !best
+    else fail "fresh measurement produced no finite ns/op estimate"
+  in
+  let words = Bench_cases.words_per_push () in
+  Printf.printf "baseline (%s): %12.1f ns/op\n" baseline.Bench_json.git_rev
+    base.Bench_json.ns_per_run;
+  Printf.printf "fresh (min/3): %12.1f ns/op   (%.3f minor words/request)\n%!" fresh_ns words;
+  if words > Bench_cases.max_words_per_push then
+    fail "hot path allocates %.3f minor words/request (budget %.1f)" words
+      Bench_cases.max_words_per_push;
+  let limit = base.Bench_json.ns_per_run *. regression_factor in
+  if fresh_ns > limit then
+    fail "streaming push regressed: %.1f ns/op > %.1f ns/op (baseline %.1f + %.0f%% budget)"
+      fresh_ns limit base.Bench_json.ns_per_run
+      ((regression_factor -. 1.0) *. 100.0);
+  Printf.printf "OK: streaming push within %.0f%% of baseline\n"
+    ((regression_factor -. 1.0) *. 100.0)

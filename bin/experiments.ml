@@ -1,9 +1,14 @@
 (* Standalone regeneration of the experiment tables (E1-E15).
 
-   Usage: experiments [quick] [NAME...]
+   Usage: experiments [quick] [--domains N] [NAME...]
 
    With no NAME every report is printed in order; otherwise only the
-   named ones.  Pass "quick" for the reduced sweeps used in CI. *)
+   named ones.  Pass "quick" for the reduced sweeps used in CI.
+   `--domains N` sizes the shared domain pool the parallel sweeps
+   (E7, E8, E14) run on; the default is the DCACHE_DOMAINS
+   environment variable, then the machine's recommended domain
+   count.  Output is byte-identical at any domain count (see
+   docs/PERFORMANCE.md). *)
 
 module E = Dcache_experiments.Experiments
 
@@ -26,8 +31,29 @@ let reports =
     ("capacity", fun ~quick -> E.capacity ~quick ());
   ]
 
+let usage () =
+  Printf.eprintf "usage: experiments [quick] [--domains N] [NAME...]\n       (known reports: %s)\n"
+    (String.concat ", " (List.map fst reports));
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip_domains acc = function
+    | "--domains" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some d when d >= 1 ->
+            Dcache_prelude.Pool.set_default_domains d;
+            strip_domains acc rest
+        | Some _ | None ->
+            Printf.eprintf "experiments: --domains needs a positive integer, got %S\n" v;
+            usage ())
+    | [ "--domains" ] ->
+        Printf.eprintf "experiments: --domains needs a value\n";
+        usage ()
+    | a :: rest -> strip_domains (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_domains [] args in
   let quick = List.exists (String.equal "quick") args in
   match List.filter (fun a -> a <> "quick") args with
   | [] -> E.run_all ~quick ()

@@ -1,138 +1,235 @@
-module Vec = Dcache_prelude.Vec
+(* Flat-arena layout: every per-request column is a plain array grown
+   geometrically (doubling), and the pre-scan matrix A — row i =
+   last_on after r_i — lives in one row-major [int array] arena of
+   [cap * m] slots.  A push appends by [Array.blit]-ing the previous
+   arena row and patching one column, so the hot path performs no
+   per-request boxed allocation at all: the old representation copied
+   an m-length boxed row per request ([Vec.push (Array.copy last_on)])
+   and burned two [ref] cells per push on the D(i) scan; both are gone
+   (the scan's running best lives in two 1-slot scratch arrays that
+   never leave the solver).  Growth allocates doubling blocks, which
+   for any interesting capacity land directly in the major heap, so
+   [Gc.minor_words] per push is ~0 — the bench harness asserts this
+   (see bench/bench_cases.ml and docs/PERFORMANCE.md). *)
 
 type c_choice = C_base | C_step | C_cache
 
 type d_choice = D_undefined | D_prev | D_pivot of int
 
+(* d_choice is stored as an int column: [d_undefined] / [d_prev] /
+   a pivot index kappa >= 1 (kappa is a strict successor, never 0). *)
+let d_undefined = -2
+
+let d_prev = -1
+
+(* c_choice as an int column *)
+let c_base = 0
+
+let c_step = 1
+
+let c_cache = 2
+
 type t = {
   model : Cost_model.t;
   m : int;
   lam_eff : float;
-  (* per-request vectors, index 0 = the boundary request r_0 *)
-  server : int Vec.t;
-  time : float Vec.t;
-  prev : int Vec.t;  (* p(i); -1 for the dummy at -inf *)
-  sigma : float Vec.t;
-  b : float Vec.t;
-  big_b : float Vec.t;
-  c : float Vec.t;
-  d : float Vec.t;
-  c_choice : c_choice Vec.t;
-  d_choice : d_choice Vec.t;
-  next_same : int Vec.t;  (* successor on the same server; -1 = none yet *)
-  history : int array Vec.t;  (* the pre-scan matrix A: row i = last_on after r_i *)
-  last_on : int array;  (* latest request per server *)
+  mutable cap : int; (* rows allocated *)
+  mutable len : int; (* rows used, = n + 1 with the boundary r_0 *)
+  (* per-request columns, index 0 = the boundary request r_0 *)
+  mutable server : int array;
+  mutable time : float array;
+  mutable prev : int array; (* p(i); -1 for the dummy at -inf *)
+  mutable sigma : float array;
+  mutable b : float array;
+  mutable big_b : float array;
+  mutable c : float array;
+  mutable d : float array;
+  mutable c_choice : int array;
+  mutable d_choice : int array;
+  mutable next_same : int array; (* successor on the same server; -1 = none yet *)
+  mutable arena : int array; (* row-major A: arena.(i*m + j) = last request on s^j after r_i *)
+  last_on : int array; (* latest request per server *)
+  d_best : float array; (* 1-slot scratch: running best of the D(i) scan *)
+  d_arg : int array; (* 1-slot scratch: its argmin encoding *)
 }
+
+let initial_cap = 64
 
 let create model ~m =
   if m < 1 then invalid_arg "Streaming_dp.create: m must be at least 1";
+  let cap = initial_cap in
   let t =
     {
       model;
       m;
       lam_eff = Float.min model.Cost_model.lambda model.Cost_model.upload;
-      server = Vec.create ();
-      time = Vec.create ();
-      prev = Vec.create ();
-      sigma = Vec.create ();
-      b = Vec.create ();
-      big_b = Vec.create ();
-      c = Vec.create ();
-      d = Vec.create ();
-      c_choice = Vec.create ();
-      d_choice = Vec.create ();
-      next_same = Vec.create ();
-      history = Vec.create ();
+      cap;
+      len = 0;
+      server = Array.make cap 0;
+      time = Array.make cap 0.0;
+      prev = Array.make cap (-1);
+      sigma = Array.make cap 0.0;
+      b = Array.make cap 0.0;
+      big_b = Array.make cap 0.0;
+      c = Array.make cap 0.0;
+      d = Array.make cap infinity;
+      c_choice = Array.make cap c_base;
+      d_choice = Array.make cap d_undefined;
+      next_same = Array.make cap (-1);
+      arena = Array.make (cap * m) (-1);
       last_on = Array.make m (-1);
+      d_best = Array.make 1 infinity;
+      d_arg = Array.make 1 d_undefined;
     }
   in
-  (* boundary request r_0 = (s^1, 0) *)
-  Vec.push t.server 0;
-  Vec.push t.time 0.0;
-  Vec.push t.prev (-1);
-  Vec.push t.sigma 0.0;
-  Vec.push t.b 0.0;
-  Vec.push t.big_b 0.0;
-  Vec.push t.c 0.0;
-  Vec.push t.d infinity;
-  Vec.push t.c_choice C_base;
-  Vec.push t.d_choice D_undefined;
-  Vec.push t.next_same (-1);
+  (* boundary request r_0 = (s^1, 0); Array.make already filled the
+     defaults, only the non-default cells need writing *)
+  t.d.(0) <- infinity;
   t.last_on.(0) <- 0;
-  Vec.push t.history (Array.copy t.last_on);
+  t.arena.(0) <- 0 (* row 0: column 0 = r_0, the rest stay -1 *);
+  t.len <- 1;
   t
 
-let n t = Vec.length t.server - 1
+let n t = t.len - 1
 let m t = t.m
 let model t = t.model
 
-let cost t = Vec.last t.c
-let cost_at t i = Vec.get t.c i
-let semi_cost_at t i = Vec.get t.d i
-let marginal_at t i = Vec.get t.b i
-let running_at t i = Vec.get t.big_b i
-let server_at t i = Vec.get t.server i
-let time_at t i = Vec.get t.time i
+let check t i name =
+  if i < 0 || i >= t.len then invalid_arg ("Streaming_dp." ^ name ^ ": index out of bounds")
+
+let cost t = t.c.(t.len - 1)
+
+let cost_at t i =
+  check t i "cost_at";
+  t.c.(i)
+
+let semi_cost_at t i =
+  check t i "semi_cost_at";
+  t.d.(i)
+
+let marginal_at t i =
+  check t i "marginal_at";
+  t.b.(i)
+
+let running_at t i =
+  check t i "running_at";
+  t.big_b.(i)
+
+let server_at t i =
+  check t i "server_at";
+  t.server.(i)
+
+let time_at t i =
+  check t i "time_at";
+  t.time.(i)
 
 let pivot_at t i =
-  match Vec.get t.d_choice i with D_pivot kappa -> Some kappa | D_prev | D_undefined -> None
+  check t i "pivot_at";
+  let v = t.d_choice.(i) in
+  if v >= 0 then Some v else None
+
+(* Doubles every column and the arena.  Not on the hot path proper:
+   amortised over pushes, and the blocks it allocates are major-heap
+   sized long before n is interesting. *)
+let grow t =
+  let ncap = 2 * t.cap in
+  let grow_int a fill =
+    let b = Array.make ncap fill in
+    Array.blit a 0 b 0 t.len;
+    b
+  in
+  let grow_float a fill =
+    let b = Array.make ncap fill in
+    Array.blit a 0 b 0 t.len;
+    b
+  in
+  t.server <- grow_int t.server 0;
+  t.time <- grow_float t.time 0.0;
+  t.prev <- grow_int t.prev (-1);
+  t.sigma <- grow_float t.sigma 0.0;
+  t.b <- grow_float t.b 0.0;
+  t.big_b <- grow_float t.big_b 0.0;
+  t.c <- grow_float t.c 0.0;
+  t.d <- grow_float t.d infinity;
+  t.c_choice <- grow_int t.c_choice c_base;
+  t.d_choice <- grow_int t.d_choice d_undefined;
+  t.next_same <- grow_int t.next_same (-1);
+  let arena = Array.make (ncap * t.m) (-1) in
+  Array.blit t.arena 0 arena 0 (t.len * t.m);
+  t.arena <- arena;
+  t.cap <- ncap
 
 let push t ~server ~time =
   if server < 0 || server >= t.m then invalid_arg "Streaming_dp.push: server out of range";
   if not (Float.is_finite time) then invalid_arg "Streaming_dp.push: non-finite time";
-  if time <= Vec.last t.time then
+  if time <= t.time.(t.len - 1) then
     invalid_arg "Streaming_dp.push: times must strictly increase";
+  if t.len = t.cap then grow t;
   let mu = t.model.Cost_model.mu in
-  let i = Vec.length t.server in
+  let i = t.len in
   let q = t.last_on.(server) in
-  let sigma = if q >= 0 then time -. Vec.get t.time q else infinity in
+  let sigma = if q >= 0 then time -. t.time.(q) else infinity in
   let bi = Float.min t.lam_eff (mu *. sigma) in
-  Vec.push t.server server;
-  Vec.push t.time time;
-  Vec.push t.prev q;
-  Vec.push t.sigma sigma;
-  Vec.push t.b bi;
-  Vec.push t.big_b (Vec.last t.big_b +. bi);
-  Vec.push t.next_same (-1);
-  if q >= 0 then Vec.set t.next_same q i;
-  (* --- D(i) --- *)
-  let d_value = ref infinity and d_choice = ref D_undefined in
+  t.server.(i) <- server;
+  t.time.(i) <- time;
+  t.prev.(i) <- q;
+  t.sigma.(i) <- sigma;
+  t.b.(i) <- bi;
+  t.big_b.(i) <- t.big_b.(i - 1) +. bi;
+  t.next_same.(i) <- -1;
+  if q >= 0 then t.next_same.(q) <- i;
+  (* --- D(i): pivot scan over the flat arena row of r_q --- *)
+  t.d_best.(0) <- infinity;
+  t.d_arg.(0) <- d_undefined;
   if q >= 0 then begin
-    let base = (mu *. sigma) +. Vec.get t.big_b (i - 1) in
-    d_value := Vec.get t.c q +. base -. Vec.get t.big_b q;
-    d_choice := D_prev;
-    let row = Vec.get t.history q in
+    let base = (mu *. sigma) +. t.big_b.(i - 1) in
+    t.d_best.(0) <- t.c.(q) +. base -. t.big_b.(q);
+    t.d_arg.(0) <- d_prev;
+    let row = q * t.m in
     for j = 0 to t.m - 1 do
       if j <> server then begin
-        let last = row.(j) in
+        let last = t.arena.(row + j) in
         if last >= 0 then begin
-          let kappa = Vec.get t.next_same last in
-          if kappa >= 0 && kappa < i && Vec.get t.d kappa < infinity then begin
-            let cand = Vec.get t.d kappa +. base -. Vec.get t.big_b kappa in
-            if cand < !d_value then begin
-              d_value := cand;
-              d_choice := D_pivot kappa
+          let kappa = t.next_same.(last) in
+          if kappa >= 0 && kappa < i && t.d.(kappa) < infinity then begin
+            let cand = t.d.(kappa) +. base -. t.big_b.(kappa) in
+            if cand < t.d_best.(0) then begin
+              t.d_best.(0) <- cand;
+              t.d_arg.(0) <- kappa
             end
           end
         end
       end
     done
   end;
-  Vec.push t.d !d_value;
-  Vec.push t.d_choice !d_choice;
+  let d_value = t.d_best.(0) in
+  t.d.(i) <- d_value;
+  t.d_choice.(i) <- t.d_arg.(0);
   (* --- C(i) --- *)
-  let step = Vec.get t.c (i - 1) +. (mu *. (time -. Vec.get t.time (i - 1))) +. t.lam_eff in
-  if !d_value <= step then begin
-    Vec.push t.c !d_value;
-    Vec.push t.c_choice C_cache
+  let step = t.c.(i - 1) +. (mu *. (time -. t.time.(i - 1))) +. t.lam_eff in
+  if d_value <= step then begin
+    t.c.(i) <- d_value;
+    t.c_choice.(i) <- c_cache
   end
   else begin
-    Vec.push t.c step;
-    Vec.push t.c_choice C_step
+    t.c.(i) <- step;
+    t.c_choice.(i) <- c_step
   end;
   t.last_on.(server) <- i;
-  Vec.push t.history (Array.copy t.last_on)
+  (* arena row i = arena row i-1 with this server's column patched *)
+  Array.blit t.arena ((i - 1) * t.m) t.arena (i * t.m) t.m;
+  t.arena.((i * t.m) + server) <- i;
+  t.len <- i + 1
 [@@hot]
+
+(* decoded views of the choice columns, for the reconstruction walk *)
+let c_choice_at t i =
+  let v = t.c_choice.(i) in
+  if v = c_base then C_base else if v = c_step then C_step else C_cache
+
+let d_choice_at t i =
+  let v = t.d_choice.(i) in
+  if v = d_undefined then D_undefined else if v = d_prev then D_prev else D_pivot v
 
 (* -- schedule reconstruction (identical walk to the batch solver) ------- *)
 
@@ -153,9 +250,9 @@ let schedule t =
   in
   let serve_marginal source lo hi =
     for h = lo to hi do
-      let sh = Vec.get t.server h in
-      if t.lam_eff <= mu *. Vec.get t.sigma h then add_transfer source sh (Vec.get t.time h)
-      else add_cache sh (Vec.get t.time (Vec.get t.prev h)) (Vec.get t.time h)
+      let sh = t.server.(h) in
+      if t.lam_eff <= mu *. t.sigma.(h) then add_transfer source sh t.time.(h)
+      else add_cache sh t.time.(t.prev.(h)) t.time.(h)
     done
   in
   let state = ref (Walk_c (n t)) in
@@ -164,27 +261,27 @@ let schedule t =
     match !state with
     | Walk_c 0 -> continue := false
     | Walk_c i -> (
-        match Vec.get t.c_choice i with
+        match c_choice_at t i with
         | C_cache -> state := Walk_d i
         (* same-server step: the cache branch mathematically ties or
            wins; avoid a degenerate self-transfer *)
-        | C_step when Vec.get t.server (i - 1) = Vec.get t.server i -> state := Walk_d i
+        | C_step when t.server.(i - 1) = t.server.(i) -> state := Walk_d i
         | C_step ->
             let prev = i - 1 in
-            add_cache (Vec.get t.server prev) (Vec.get t.time prev) (Vec.get t.time i);
-            add_transfer (Vec.get t.server prev) (Vec.get t.server i) (Vec.get t.time i);
+            add_cache t.server.(prev) t.time.(prev) t.time.(i);
+            add_transfer t.server.(prev) t.server.(i) t.time.(i);
             state := Walk_c prev
         | C_base -> assert false)
     | Walk_d i -> (
-        let q = Vec.get t.prev i in
+        let q = t.prev.(i) in
         assert (q >= 0);
-        add_cache (Vec.get t.server i) (Vec.get t.time q) (Vec.get t.time i);
-        match Vec.get t.d_choice i with
+        add_cache t.server.(i) t.time.(q) t.time.(i);
+        match d_choice_at t i with
         | D_prev ->
-            serve_marginal (Vec.get t.server i) (q + 1) (i - 1);
+            serve_marginal t.server.(i) (q + 1) (i - 1);
             state := Walk_c q
         | D_pivot kappa ->
-            serve_marginal (Vec.get t.server i) (kappa + 1) (i - 1);
+            serve_marginal t.server.(i) (kappa + 1) (i - 1);
             state := Walk_d kappa
         | D_undefined -> assert false)
   done;
@@ -193,5 +290,4 @@ let schedule t =
 let to_sequence t =
   let count = n t in
   Sequence.create_exn ~m:t.m
-    (Array.init count (fun i ->
-         { Request.server = Vec.get t.server (i + 1); time = Vec.get t.time (i + 1) }))
+    (Array.init count (fun i -> { Request.server = t.server.(i + 1); time = t.time.(i + 1) }))

@@ -2,6 +2,7 @@ open Dcache_core
 module Table = Dcache_prelude.Table
 module Rng = Dcache_prelude.Rng
 module Stats = Dcache_prelude.Stats
+module Pool = Dcache_prelude.Pool
 
 let header title =
   Printf.printf "\n=== %s ===\n\n" title
@@ -294,35 +295,42 @@ let scaling ?(quick = false) () =
 
 (* ---------------------------------------------------------------- E7 *)
 
-let ratio ?(quick = false) () =
+let ratio ?(quick = false) ?(pool = Pool.get ()) () =
   header "E7 / Theorem 3 — empirical competitive ratio of SC (bound: 3)";
   let n = if quick then 120 else 600 in
   let m = 6 in
-  let lambda_over_mu = [ 0.2; 1.0; 5.0 ] in
+  let lambdas = [| 0.2; 1.0; 5.0 |] in
+  let nl = Array.length lambdas in
   let t =
     Table.create
       (Table.column ~align:Table.Left "workload"
       :: List.map
            (fun r -> Table.column (Printf.sprintf "lambda/mu = %g" r))
-           lambda_over_mu)
+           (Array.to_list lambdas))
   in
-  let worst = ref 0.0 in
   (* the suite's time scale is fixed by the reference model (so the
      columns genuinely differ: changing lambda/mu moves the window
      across the same gaps, instead of rescaling the whole instance) *)
   let reference = Cost_model.unit in
-  let suite = Dcache_workload.Generator.standard_suite reference ~m ~n ~seed:4242 in
-  List.iter
-    (fun (name, seq) ->
+  let suite = Array.of_list (Dcache_workload.Generator.standard_suite reference ~m ~n ~seed:4242) in
+  (* every (workload, lambda) cell is an independent deterministic
+     solve: one pool task per cell, folded positionally below *)
+  let ratios =
+    Pool.parallel_init pool
+      (Array.length suite * nl)
+      (fun idx ->
+        let _, seq = suite.(idx / nl) in
+        let model = Cost_model.make ~mu:1.0 ~lambda:lambdas.(idx mod nl) () in
+        (Online_sc.run model seq).Online_sc.total_cost /. opt_cost model seq)
+  in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun wi (name, _) ->
       let cells =
-        List.map
-          (fun r ->
-            let model = Cost_model.make ~mu:1.0 ~lambda:r () in
-            let sc = Online_sc.run model seq in
-            let ratio = sc.total_cost /. opt_cost model seq in
-            if ratio > !worst then worst := ratio;
-            Table.fmt_float ~prec:3 ratio)
-          lambda_over_mu
+        List.init nl (fun li ->
+            let r = ratios.((wi * nl) + li) in
+            if r > !worst then worst := r;
+            Table.fmt_float ~prec:3 r)
       in
       Table.add_row t (name :: cells))
     suite;
@@ -330,50 +338,60 @@ let ratio ?(quick = false) () =
   Printf.printf "\nworst observed ratio: %.3f  (proved upper bound: %.1f — the bound is not claimed tight)\n"
     !worst Online_sc.competitive_bound;
   (* the theorem is stated per epoch; check that phrasing directly *)
-  let epoch_worst = ref 0.0 in
-  List.iter
-    (fun (_, seq) ->
-      List.iter
-        (fun r ->
-          let model = Cost_model.make ~mu:1.0 ~lambda:r () in
-          let epochs = Epoch_analysis.analyse ~epoch_size:10 model seq in
-          epoch_worst := Float.max !epoch_worst (Epoch_analysis.max_ratio epochs))
-        lambda_over_mu)
-    suite;
+  let epoch_ratios =
+    Pool.parallel_init pool
+      (Array.length suite * nl)
+      (fun idx ->
+        let _, seq = suite.(idx / nl) in
+        let model = Cost_model.make ~mu:1.0 ~lambda:lambdas.(idx mod nl) () in
+        Epoch_analysis.max_ratio (Epoch_analysis.analyse ~epoch_size:10 model seq))
+  in
+  let epoch_worst = Array.fold_left Float.max 0.0 epoch_ratios in
   Printf.printf
     "per-epoch check (epoch size 10, re-rooted epoch optima): worst epoch ratio %.3f <= 3\n"
-    !epoch_worst
+    epoch_worst
 
 (* ---------------------------------------------------------------- E8 *)
 
-let optimality ?(quick = false) () =
+let optimality ?(quick = false) ?(pool = Pool.get ()) () =
   header "E8 / Theorem 1 — optimality of the O(mn) DP against independent exact solvers";
   let trials = if quick then 300 else 3000 in
-  let rng = Rng.create 31415 in
+  let root = Rng.create 31415 in
+  (* each trial derives its stream from the root by index, so the
+     sweep runs on the pool with byte-identical output at any domain
+     count (see the Pool determinism contract) *)
+  let outcomes =
+    Pool.parallel_init pool trials (fun trial ->
+        let rng = Rng.derive root trial in
+        let m = Rng.int_in rng 1 6 in
+        let n = Rng.int_in rng 1 12 in
+        let seq = random_instance rng ~m ~n in
+        let model =
+          Cost_model.make ~mu:(Rng.float_in rng 0.1 4.0) ~lambda:(Rng.float_in rng 0.1 4.0) ()
+        in
+        let result = Offline_dp.solve model seq in
+        let fast = Offline_dp.cost result in
+        let rel a b = Float.abs (a -. b) /. Float.max 1.0 (Float.abs b) in
+        let gap_subset = rel fast (Dcache_baselines.Subset_dp.solve model seq) in
+        let gap_naive = rel fast (Dcache_baselines.Naive_dp.solve model seq) in
+        let gap_brute = rel fast (Dcache_baselines.Brute_force.solve model seq) in
+        let sched = Offline_dp.schedule result in
+        let sched_ok =
+          match Schedule.validate seq sched with
+          | Ok () -> Dcache_prelude.Float_cmp.approx_eq (Schedule.cost model sched) fast
+          | Error _ -> false
+        in
+        (gap_subset, gap_naive, gap_brute, sched_ok))
+  in
   let max_gap_subset = ref 0.0 and max_gap_naive = ref 0.0 and max_gap_brute = ref 0.0 in
   let schedule_ok = ref 0 in
-  for _ = 1 to trials do
-    let m = Rng.int_in rng 1 6 in
-    let n = Rng.int_in rng 1 12 in
-    let seq = random_instance rng ~m ~n in
-    let model =
-      Cost_model.make ~mu:(Rng.float_in rng 0.1 4.0) ~lambda:(Rng.float_in rng 0.1 4.0) ()
-    in
-    let result = Offline_dp.solve model seq in
-    let fast = Offline_dp.cost result in
-    let rel a b = Float.abs (a -. b) /. Float.max 1.0 (Float.abs b) in
-    max_gap_subset :=
-      Float.max !max_gap_subset (rel fast (Dcache_baselines.Subset_dp.solve model seq));
-    max_gap_naive :=
-      Float.max !max_gap_naive (rel fast (Dcache_baselines.Naive_dp.solve model seq));
-    max_gap_brute :=
-      Float.max !max_gap_brute (rel fast (Dcache_baselines.Brute_force.solve model seq));
-    let sched = Offline_dp.schedule result in
-    (match Schedule.validate seq sched with
-    | Ok () when Dcache_prelude.Float_cmp.approx_eq (Schedule.cost model sched) fast ->
-        incr schedule_ok
-    | Ok () | Error _ -> ())
-  done;
+  Array.iter
+    (fun (gs, gn, gb, ok) ->
+      max_gap_subset := Float.max !max_gap_subset gs;
+      max_gap_naive := Float.max !max_gap_naive gn;
+      max_gap_brute := Float.max !max_gap_brute gb;
+      if ok then incr schedule_ok)
+    outcomes;
   Printf.printf
     "%d random instances (m <= 6, n <= 12, random mu/lambda):\n\
      \  max relative gap vs subset DP:   %.2e\n\
@@ -648,7 +666,7 @@ let budget ?(quick = false) () =
 
 (* --------------------------------------------------------------- E14 *)
 
-let ratio_search ?(quick = false) () =
+let ratio_search ?(quick = false) ?(pool = Pool.get ()) () =
   header "E14 — searched lower bound on the competitive ratio (upper bound: 3)";
   let restarts = if quick then 3 else 8 in
   let steps = if quick then 600 else 4000 in
@@ -667,7 +685,7 @@ let ratio_search ?(quick = false) () =
   List.iter
     (fun (m, n) ->
       let rng = Rng.create (1000 + (m * 37) + n) in
-      let best = Dcache_workload.Ratio_search.search ~restarts ~steps ~rng ~m ~n model in
+      let best = Dcache_workload.Ratio_search.search ~restarts ~steps ~pool ~rng ~m ~n model in
       if best.ratio > !overall then overall := best.ratio;
       Table.add_row t
         [
@@ -743,19 +761,19 @@ let capacity ?(quick = false) () =
      unbounded optimum actually uses — capacity beyond what cost-optimality wants buys\n\
      nothing, which is the quantitative version of Table I's 'dynamic number' row.\n"
 
-let run_all ?(quick = false) () =
+let run_all ?(quick = false) ?(pool = Pool.get ()) () =
   table1 ();
   fig2 ();
   fig6 ();
   fig7 ();
   fig8 ();
   scaling ~quick ();
-  ratio ~quick ();
-  optimality ~quick ();
+  ratio ~quick ~pool ();
+  optimality ~quick ~pool ();
   baselines ~quick ();
   ablation ~quick ();
   hetero ~quick ();
   predictive ~quick ();
   budget ~quick ();
-  ratio_search ~quick ();
+  ratio_search ~quick ~pool ();
   capacity ~quick ()

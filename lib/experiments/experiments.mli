@@ -32,14 +32,17 @@ val scaling : ?quick:bool -> unit -> unit
     [n] and [m], with fitted log-log exponents.  [quick] shrinks the
     sweep (used by tests). *)
 
-val ratio : ?quick:bool -> unit -> unit
+val ratio : ?quick:bool -> ?pool:Dcache_prelude.Pool.t -> unit -> unit
 (** E7 — Theorem 3: empirical competitive ratios of SC across the
     workload suite and a [lambda/mu] sweep; the maximum must respect
-    the proven bound of 3. *)
+    the proven bound of 3.  Cells are solved on [pool] (default: the
+    shared pool); output is byte-identical at any domain count. *)
 
-val optimality : ?quick:bool -> unit -> unit
+val optimality : ?quick:bool -> ?pool:Dcache_prelude.Pool.t -> unit -> unit
 (** E8 — Theorem 1: agreement of the fast DP with the subset DP and
-    brute force over randomized instances. *)
+    brute force over randomized instances.  Trials derive per-index
+    streams ({!Dcache_prelude.Rng.derive}) and run on [pool]; output
+    is byte-identical at any domain count. *)
 
 val baselines : ?quick:bool -> unit -> unit
 (** E9 — cost of every online policy normalised to the offline
@@ -50,7 +53,10 @@ val ablation : ?quick:bool -> unit -> unit
     showing [delta_t = lambda/mu] is the right choice, plus the
     randomized-window variant. *)
 
-val run_all : ?quick:bool -> unit -> unit
+val run_all : ?quick:bool -> ?pool:Dcache_prelude.Pool.t -> unit -> unit
+(** Every report in order.  The parallel sweeps (E7, E8, E14) run on
+    [pool] — default: the shared {!Dcache_prelude.Pool.get} pool,
+    whose width follows [--domains] / [DCACHE_DOMAINS]. *)
 
 val hetero : ?quick:bool -> unit -> unit
 (** E11 — heterogeneous prices: billing the homogeneous plan at true
@@ -64,10 +70,12 @@ val budget : ?quick:bool -> unit -> unit
 (** E13 — the multi-item Lagrangian planner under caching budgets,
     with dual optimality gaps. *)
 
-val ratio_search : ?quick:bool -> unit -> unit
+val ratio_search : ?quick:bool -> ?pool:Dcache_prelude.Pool.t -> unit -> unit
 (** E14 — hill-climbed adversarial instances: the best competitive
     ratio local search can find, as an empirical lower bound next to
-    the proven upper bound of 3. *)
+    the proven upper bound of 3.  Restarts run on [pool] with derived
+    per-restart streams; output is byte-identical at any domain
+    count. *)
 
 val capacity : ?quick:bool -> unit -> unit
 (** E15 — cost of the exact optimum restricted to k resident copies,

@@ -1,0 +1,78 @@
+(** A small deterministic domain pool for experiment sweeps.
+
+    Built on [Domain] + [Mutex]/[Condition] only (no libraries).  A
+    pool of [d] domains keeps [d - 1] helper domains parked on a
+    condition variable; {!parallel_init} posts a chunked index range,
+    the submitting thread works alongside the helpers, and results are
+    collected {e positionally} into the output array.
+
+    {2 Determinism contract}
+
+    Parallel output is byte-identical to sequential output — at any
+    domain count, under any chunk schedule — provided each task is a
+    pure function of its index:
+
+    - randomness comes from {!Rng.derive}[ parent i] (never from a
+      shared generator, whose draw order would depend on scheduling);
+    - tasks write no shared mutable state and results are only
+      combined positionally after the join.
+
+    Under that contract [parallel_init p n f] is observationally
+    [Array.init n f], just faster.  Everything in
+    [lib/experiments] and {!Dcache_workload.Ratio_search} goes through
+    this module so `--domains 1` is always an exact oracle for
+    `--domains k`.
+
+    The default width is, in priority order: {!set_default_domains},
+    the [DCACHE_DOMAINS] environment variable, then
+    [Domain.recommended_domain_count ()]; always clamped to [1..64]. *)
+
+type t
+(** A pool.  One job runs at a time; nesting a parallel region inside
+    a task of the same pool is rejected. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] helper domains (so
+    [~domains:1] is a zero-overhead sequential pool).  Defaults to
+    {!default_domains}.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** Width of the pool, including the submitting thread. *)
+
+val shutdown : t -> unit
+(** Joins the helper domains.  Idempotent.  Submitting to a
+    shut-down pool raises [Invalid_argument]. *)
+
+val parallel_init : ?chunk:int -> t -> int -> (int -> 'a) -> 'a array
+(** [parallel_init t n f] is [Array.init n f] with the calls to [f]
+    distributed over the pool in chunks of [chunk] (default: about
+    four chunks per domain).  If any task raises, the first exception
+    (in completion order) is re-raised after the job drains; the pool
+    remains usable.
+    @raise Invalid_argument on negative [n], non-positive [chunk],
+    nested use, or a shut-down pool. *)
+
+val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map t f a] is [Array.map f a] over the pool; same
+    contract as {!parallel_init}. *)
+
+val set_default_domains : int -> unit
+(** Overrides the default width (the [--domains] flag of the
+    executables).  Takes effect for subsequent {!create}/{!get}.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val default_domains : unit -> int
+(** Current default width: {!set_default_domains} override, else
+    [DCACHE_DOMAINS], else [Domain.recommended_domain_count ()],
+    clamped to [1..64]. *)
+
+val get : unit -> t
+(** The shared pool, created lazily at {!default_domains} width and
+    re-created if the default changed since.  Intended for the
+    single-threaded experiment drivers; do not call from inside a
+    pool task. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it
+    down. *)

@@ -38,6 +38,23 @@ let bits64 t =
 
 let split t = of_seed64 (bits64 t)
 
+(* [derive] hashes the parent's full 256-bit state together with the
+   index through splitmix64.  Unlike [split] it must not advance the
+   parent: workers of a parallel sweep derive their streams in
+   whatever order the scheduler runs them, and the result has to be
+   the same stream for the same (parent state, index) pair. *)
+let derive t index =
+  if index < 0 then invalid_arg "Rng.derive: index must be non-negative";
+  let open Int64 in
+  let state =
+    ref
+      (logxor
+         (logxor t.s0 (rotl t.s1 13))
+         (logxor (rotl t.s2 29) (rotl t.s3 43)))
+  in
+  state := add !state (mul (add (of_int index) 1L) 0x9E3779B97F4A7C15L);
+  of_seed64 (splitmix64_next state)
+
 (* Non-negative int from the top 62 bits (OCaml ints hold 62 bits plus
    sign on 64-bit platforms, so keeping 63 would wrap negative). *)
 let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)

@@ -20,6 +20,17 @@ val split : t -> t
     [t].  Use one split per worker/experiment so adding draws to one
     component never perturbs another. *)
 
+val derive : t -> int -> t
+(** [derive t i] is an independent child stream keyed by [i].  Unlike
+    {!split} it does {e not} advance [t]: it is a pure function of the
+    parent's current state and the index, so [derive t 0 .. derive t k]
+    yield the same streams whatever order they are taken in — the
+    contract {!Pool} relies on to make parallel sweeps byte-identical
+    to sequential ones.  Distinct indices give statistically
+    independent streams (the 256-bit state and the index are mixed
+    through splitmix64).
+    @raise Invalid_argument if [i < 0]. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 

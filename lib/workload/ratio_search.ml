@@ -64,25 +64,43 @@ let adversarial_genome model ~m ~n variant =
   let requests = Sequence.requests seq in
   (Array.map (fun r -> r.Request.server) requests, Array.map (fun r -> r.Request.time) requests)
 
-let search ?(restarts = 6) ?(steps = 1500) ~rng ~m ~n model =
+(* One restart is a pure function of its derived generator, so the
+   restarts can run on a {!Dcache_prelude.Pool} — each derives its
+   stream from the caller's [rng] by index ([Rng.derive] does not
+   advance the parent), and the winner is folded positionally, making
+   the parallel search byte-identical to the sequential one at any
+   domain count. *)
+let climb model ~m ~n ~steps ~restart rng =
+  let genome =
+    if restart < 3 then adversarial_genome model ~m ~n restart
+    else random_genome rng model ~m ~n
+  in
+  let current = ref genome in
+  let start = evaluate model (to_sequence ~m (fst genome) (snd genome)) in
+  let current_score = ref start.ratio in
+  let best = ref start in
+  for _ = 1 to steps do
+    let servers, times = mutate rng ~m (fst !current) (snd !current) in
+    let candidate = evaluate model (to_sequence ~m servers times) in
+    if candidate.ratio >= !current_score then begin
+      current := (servers, times);
+      current_score := candidate.ratio;
+      if candidate.ratio > !best.ratio then best := candidate
+    end
+  done;
+  !best
+
+let search ?(restarts = 6) ?(steps = 1500) ?pool ~rng ~m ~n model =
   if m < 2 then invalid_arg "Ratio_search.search: need at least 2 servers";
   if n < 1 then invalid_arg "Ratio_search.search: need at least 1 request";
+  let run restart =
+    climb model ~m ~n ~steps ~restart (Dcache_prelude.Rng.derive rng restart)
+  in
+  let found =
+    match pool with
+    | Some pool -> Dcache_prelude.Pool.parallel_init pool restarts run
+    | None -> Array.init restarts run
+  in
   let best = ref (evaluate model (Adversary.expiry_chaser model ~m ~n)) in
-  for restart = 0 to restarts - 1 do
-    let genome =
-      if restart < 3 then adversarial_genome model ~m ~n restart
-      else random_genome rng model ~m ~n
-    in
-    let current = ref genome in
-    let current_score = ref (evaluate model (to_sequence ~m (fst genome) (snd genome))).ratio in
-    for _ = 1 to steps do
-      let servers, times = mutate rng ~m (fst !current) (snd !current) in
-      let candidate = evaluate model (to_sequence ~m servers times) in
-      if candidate.ratio >= !current_score then begin
-        current := (servers, times);
-        current_score := candidate.ratio;
-        if candidate.ratio > !best.ratio then best := candidate
-      end
-    done
-  done;
+  Array.iter (fun f -> if f.ratio > !best.ratio then best := f) found;
   !best

@@ -24,11 +24,15 @@ val evaluate : Cost_model.t -> Sequence.t -> found
 val search :
   ?restarts:int ->
   ?steps:int ->
+  ?pool:Dcache_prelude.Pool.t ->
   rng:Dcache_prelude.Rng.t ->
   m:int ->
   n:int ->
   Cost_model.t ->
   found
 (** Best instance found.  Defaults: 6 restarts of 1500 accepted-or-not
-    mutation steps each.  Deterministic in the generator state.
+    mutation steps each.  Each restart hill-climbs with an independent
+    stream ([Rng.derive rng restart]; [rng] itself is not advanced),
+    so passing [?pool] runs the restarts in parallel with output
+    byte-identical to the sequential search at any domain count.
     @raise Invalid_argument if [m < 2] or [n < 1]. *)

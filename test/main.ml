@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dcache"
     [
       ("prelude", Test_prelude.suite);
+      ("pool", Test_pool.suite);
       ("core-types", Test_core_types.suite);
       ("offline-dp", Test_offline.suite);
       ("online-sc", Test_online.suite);

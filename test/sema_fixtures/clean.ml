@@ -9,3 +9,14 @@ let count xs =
     n := !n + xs.(i)
   done;
   !n
+
+(* setup allocation in a hot function is fine: S1 bans the copying
+   Array builtins at body level, not [Array.make]/[init] sizing *)
+let masked_sum xs =
+  let buf = Array.make 4 1 in
+  let n = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    n := !n + xs.(i) + buf.(i land 3)
+  done;
+  !n
+[@@hot]

@@ -1,0 +1,12 @@
+(* S1 fixture: an [@@hot] function paying a per-call [Array.copy] at
+   function-body level — outside any loop, where the loop-only scan
+   cannot see it. *)
+
+let snapshot_sum rows last =
+  let copy = Array.copy last in
+  let total = ref 0 in
+  for i = 0 to Array.length rows - 1 do
+    total := !total + rows.(i) + copy.(i land (Array.length copy - 1))
+  done;
+  !total
+[@@hot]

@@ -41,14 +41,15 @@ let compiled =
      in
      List.iter (place "lib/core")
        [
-         "s1_violation.ml"; "s2_violation.ml"; "s2_violation.mli"; "s3_dead.ml"; "s3_dead.mli";
-         "s4_violation.ml"; "clean.ml"; "suppressed.ml";
+         "s1_violation.ml"; "s1_hot_copy.ml"; "s2_violation.ml"; "s2_violation.mli";
+         "s3_dead.ml"; "s3_dead.mli"; "s4_violation.ml"; "clean.ml"; "suppressed.ml";
        ];
      place "other" "s3_user.ml";
      command
        "cd %s && ocamlc -bin-annot -I lib/core -c lib/core/s2_violation.mli lib/core/s2_violation.ml \
         lib/core/s3_dead.mli lib/core/s3_dead.ml lib/core/s1_violation.ml \
-        lib/core/s4_violation.ml lib/core/clean.ml lib/core/suppressed.ml"
+        lib/core/s1_hot_copy.ml lib/core/s4_violation.ml lib/core/clean.ml \
+        lib/core/suppressed.ml"
        (Filename.quote root);
      command "cd %s && ocamlc -bin-annot -I lib/core -c other/s3_user.ml" (Filename.quote root);
      root)
@@ -68,6 +69,7 @@ let test_rules_fire () =
   let findings, _, errors = run () in
   Alcotest.(check (list string)) "no decode errors" [] errors;
   check_one "S1 tuple in hot loop" "S1" "lib/core/s1_violation.ml" 6 findings;
+  check_one "S1 body-level Array.copy" "S1" "lib/core/s1_hot_copy.ml" 6 findings;
   check_one "S2 undocumented raise" "S2" "lib/core/s2_violation.mli" 3 findings;
   check_one "S4 bare float fold" "S4" "lib/core/s4_violation.ml" 6 findings
 

@@ -83,6 +83,35 @@ let schedule_between_pushes =
       done;
       mid_ok && approx (Streaming_dp.cost stream) (Offline_dp.cost (Offline_dp.solve model seq)))
 
+let arena_matches_full_scan =
+  (* exercises the flat arena well past its growth boundaries (initial
+     capacity 64, doubling) and across wide server counts, against the
+     structure-free full-scan oracle *)
+  qcheck ~count:8 "streaming: flat-arena C/D equal the full-scan oracle on large instances"
+    QCheck.(pair (int_range 1_000 10_000) (int_range 2 128))
+    (fun (n, m) ->
+      let rng = Dcache_prelude.Rng.create (n + (131 * m)) in
+      let clock = ref 0.0 in
+      let requests =
+        Array.init n (fun _ ->
+            clock := !clock +. Dcache_prelude.Rng.float_in rng 0.01 0.6;
+            Request.make ~server:(Dcache_prelude.Rng.int rng m) ~time:!clock)
+      in
+      let seq = Sequence.create_exn ~m requests in
+      let model = Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+      let c, d = Dcache_baselines.Naive_dp.solve_vectors model seq in
+      let stream = Streaming_dp.create model ~m in
+      feed stream seq n;
+      let ok = ref true in
+      for i = 1 to n do
+        if
+          not
+            (approx ~eps:1e-6 c.(i) (Streaming_dp.cost_at stream i)
+            && approx ~eps:1e-6 d.(i) (Streaming_dp.semi_cost_at stream i))
+        then ok := false
+      done;
+      !ok)
+
 let streaming_accessors () =
   let model = Cost_model.unit in
   let stream = Streaming_dp.create model ~m:4 in
@@ -242,6 +271,7 @@ let suite =
     vec_roundtrip;
     case "vec: iteri and clear" vec_iteri;
     prefix_optima_match_batch;
+    arena_matches_full_scan;
     schedule_between_pushes;
     case "streaming: accessors on fig6" streaming_accessors;
     to_sequence_roundtrip;

@@ -11,7 +11,9 @@ module F = Report_finding
 
 let catalog =
   [
-    ("S1", "hot-path allocation: closures, tuples, lists, arrays or boxed floats in [@@hot] loops");
+    ( "S1",
+      "hot-path allocation: closures, tuples, lists, arrays or boxed floats in [@@hot] loops; \
+       copying Array builtins anywhere in a [@@hot] body" );
     ("S2", "exception escape: undocumented exceptions escaping public lib/core / lib/baselines values");
     ("S3", "dead export: .mli value never referenced outside its own library");
     ("S4", "numeric stability: float cost accumulator folded with bare +. in a loop");
@@ -135,11 +137,44 @@ let scan_hot_loop_body ~path ~fname add body =
   in
   it.expr it body
 
+(* Anywhere in a [@@hot] body — not only inside its loops — a call to
+   one of the copying Array builtins is a per-call allocation the hot
+   path must not pay; the classic miss was an [Array.copy] at
+   function-body level of a push function called once per request,
+   which the loop-only scan above cannot see.  [Array.make]/[init]
+   stay legal: sizing fresh state in the setup section of a hot
+   function is routine. *)
+let array_copy_builtins = [ "copy"; "append"; "sub"; "of_list"; "concat" ]
+
+let scan_hot_body ~path ~fname add body =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _ :: _) -> (
+              match use_of_path p with
+              | Some (("Array" | "ArrayLabels"), fn) when List.mem fn array_copy_builtins ->
+                  add
+                    (F.make ~path ~loc:e.exp_loc ~rule:"S1"
+                       (Printf.sprintf
+                          "`Array.%s` in the body of hot `%s` allocates a fresh array per call: \
+                           reuse a preallocated buffer (`Array.blit`) instead"
+                          fn fname))
+              | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body
+
 let check_s1 ~path add structure =
   let scan_binding vb =
     let fname =
       match vb.vb_pat.pat_desc with Tpat_var (id, _) -> Ident.name id | _ -> "<binding>"
     in
+    scan_hot_body ~path ~fname add vb.vb_expr;
     let it =
       {
         Tast_iterator.default_iterator with
