@@ -6,7 +6,7 @@
 BUILD := _build/default
 SARIF := _build/sarif
 
-.PHONY: all build test lint sema sarif check bench bench-json bench-baseline perf-gate bench-sema clean
+.PHONY: all build test lint sema sarif check bench bench-json bench-baseline perf-gate bench-sema trace clean
 
 all: build
 
@@ -48,6 +48,14 @@ bench-baseline: build
 # fail on >25% regression of the streaming-push hot path vs the baseline
 perf-gate: build
 	dune exec bench/perf_gate.exe
+
+# Chrome/Perfetto trace of the quick bench suite plus the no-op sink
+# cost contract (see docs/OBSERVABILITY.md)
+trace: build
+	mkdir -p _build/trace
+	dune exec bench/main.exe -- quick --trace _build/trace/quick.json
+	dune exec bench/obs_overhead.exe
+	@echo "trace written to _build/trace/quick.json (load in chrome://tracing or ui.perfetto.dev)"
 
 # cold vs. incremental wall-time of the sema pass
 bench-sema:

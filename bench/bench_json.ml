@@ -235,32 +235,39 @@ type report = {
   quick : bool;
   words_per_push : float;
   entries : entry list;
+  counters : (string * int) list;
+      (* end-of-run Obs counter snapshot; [] (field omitted) when the
+         run recorded nothing — PR 3 baselines parse unchanged *)
 }
 
 let schema_id = "dcache-bench/1"
 
 let report_to_value r =
   Obj
-    [
-      ("schema", Str r.schema);
-      ("git_rev", Str r.git_rev);
-      ("domains", Num (float_of_int r.domains));
-      ("quick", Bool r.quick);
-      ("streaming_push_minor_words_per_request", Num r.words_per_push);
-      ( "entries",
-        Arr
-          (List.map
-             (fun e ->
-               Obj
-                 [
-                   ("group", Str e.group);
-                   ("name", Str e.name);
-                   ("ns_per_run", Num e.ns_per_run);
-                   ("mops_per_sec", Num e.mops_per_sec);
-                   ("minor_words_per_run", Num e.minor_words_per_run);
-                 ])
-             r.entries) );
-    ]
+    ([
+       ("schema", Str r.schema);
+       ("git_rev", Str r.git_rev);
+       ("domains", Num (float_of_int r.domains));
+       ("quick", Bool r.quick);
+       ("streaming_push_minor_words_per_request", Num r.words_per_push);
+       ( "entries",
+         Arr
+           (List.map
+              (fun e ->
+                Obj
+                  [
+                    ("group", Str e.group);
+                    ("name", Str e.name);
+                    ("ns_per_run", Num e.ns_per_run);
+                    ("mops_per_sec", Num e.mops_per_sec);
+                    ("minor_words_per_run", Num e.minor_words_per_run);
+                  ])
+              r.entries) );
+     ]
+    @
+    match r.counters with
+    | [] -> []
+    | cs -> [ ("counters", Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) cs)) ])
 
 let report_to_string r = to_string (report_to_value r)
 
@@ -297,9 +304,32 @@ let report_of_string text =
                 | Ok e -> entries (e :: acc) rest
                 | Error _ as e -> e)
           in
+          let counters =
+            (* optional since dcache-bench/1 + PR 4; absent in older
+               baselines, and non-integer values are rejected *)
+            match member "counters" v with
+            | Some (Obj fields) ->
+                List.filter_map
+                  (fun (k, cv) ->
+                    match cv with
+                    | Num f when Float.is_finite f && Float.equal (Float.round f) f ->
+                        Some (k, int_of_float f)
+                    | _ -> None)
+                  fields
+            | Some _ | None -> []
+          in
           (match entries [] items with
           | Ok entries ->
-              Ok { schema; git_rev; domains = int_of_float domains; quick; words_per_push; entries }
+              Ok
+                {
+                  schema;
+                  git_rev;
+                  domains = int_of_float domains;
+                  quick;
+                  words_per_push;
+                  entries;
+                  counters;
+                }
           | Error e -> Error e)
       | _ -> Error "report: missing or mistyped top-level field")
 

@@ -19,6 +19,12 @@
                                                   #   produced (make
                                                   #   bench-baseline)
 
+   `--trace FILE` (any mode; also DCACHE_TRACE=FILE) records the run
+   with the Obs observability layer and writes a Chrome trace_event
+   profile to FILE at exit — `make trace` drives this.  When a
+   recording sink is active, JSON reports also carry the end-of-run
+   counter totals in an optional "counters" field.
+
    JSON runs also probe the minor-word cost of [Streaming_dp.push]
    directly and fail when it exceeds the zero-allocation budget
    (Bench_cases.max_words_per_push). *)
@@ -210,6 +216,9 @@ let write_json ~quick path =
       quick;
       words_per_push;
       entries;
+      (* all-zero without a recording sink: drop the noise and keep
+         the report byte-identical to pre-obs runs *)
+      counters = List.filter (fun (_, v) -> v <> 0) (Dcache_obs.Obs.counter_totals ());
     }
   in
   Out_channel.with_open_text path (fun oc ->
@@ -217,12 +226,24 @@ let write_json ~quick path =
   Printf.printf "wrote %d benchmark entries to %s\n" (List.length entries) path
 
 let () =
+  Dcache_obs.Obs.install_from_env ();
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.exists (String.equal "quick") args in
+  let rec trace_path = function
+    | "--trace" :: path :: _ -> Some path
+    | [ "--trace" ] ->
+        Printf.eprintf "usage: main [quick] [json FILE] [--trace FILE]\n";
+        exit 2
+    | _ :: rest -> trace_path rest
+    | [] -> None
+  in
+  (match trace_path args with
+  | Some path -> Dcache_obs.Obs.enable_file_trace path
+  | None -> ());
   let rec json_path = function
     | "json" :: path :: _ -> Some path
     | [ "json" ] ->
-        Printf.eprintf "usage: main [quick] [json FILE]\n";
+        Printf.eprintf "usage: main [quick] [json FILE] [--trace FILE]\n";
         exit 2
     | _ :: rest -> json_path rest
     | [] -> None

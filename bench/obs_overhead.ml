@@ -1,0 +1,41 @@
+(* Micro-benchmark of the observability no-op contract.
+
+   Usage: obs_overhead
+
+   With the default Noop sink an instrumented [Streaming_dp.push]
+   pays exactly one [Obs.probe] call.  This asserts the two budgets
+   docs/OBSERVABILITY.md promises (and perf_gate.exe also gates):
+
+   - a disabled probe allocates 0 minor words, and
+   - the probe cost stays under 2% of a push
+     (Bench_cases.max_obs_overhead_frac).
+
+   Exits 1 when either budget is blown. *)
+
+open Dcache_bench_common
+module Obs = Dcache_obs.Obs
+
+let () =
+  let c = Bench_cases.measure_obs_cost () in
+  Printf.printf "disabled probe:  %8.3f ns, %.6f minor words\n" c.Bench_cases.probe_ns
+    c.Bench_cases.probe_words;
+  Printf.printf "push (noop sink): %7.1f ns\n" c.Bench_cases.push_ns;
+  Printf.printf "overhead: %d probe/push = %.3f%% of a push (budget %.1f%%)\n"
+    Bench_cases.probes_per_push
+    (100.0 *. c.Bench_cases.overhead_frac)
+    (100.0 *. Bench_cases.max_obs_overhead_frac);
+  if c.Bench_cases.probe_words > 0.0 then begin
+    Printf.eprintf "obs-overhead: a disabled probe allocates %.6f minor words (budget 0)\n"
+      c.Bench_cases.probe_words;
+    exit 1
+  end;
+  if c.Bench_cases.overhead_frac > Bench_cases.max_obs_overhead_frac then begin
+    Printf.eprintf "obs-overhead: no-op probes cost %.3f%% of a push (budget %.1f%%)\n"
+      (100.0 *. c.Bench_cases.overhead_frac)
+      (100.0 *. Bench_cases.max_obs_overhead_frac);
+    exit 1
+  end;
+  (* sanity: the counters the probes feed really are dead while
+     disabled *)
+  Obs.reset ();
+  print_endline "OK: Noop sink is free on the hot path"

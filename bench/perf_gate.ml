@@ -8,13 +8,22 @@
    - the fresh ns/op exceeds 1.25x the baseline's for the
      "extensions" / "streaming push x1000 m=6" entry,
    - [Streaming_dp.push] allocates more than
-     [Bench_cases.max_words_per_push] minor words per request, or
+     [Bench_cases.max_words_per_push] minor words per request,
+   - the observability no-op contract is broken (a disabled probe
+     allocates, or costs more than
+     [Bench_cases.max_obs_overhead_frac] of a push), or
    - the baseline is missing, malformed, or lacks the gated entry.
+
+   Performance failures re-run the offending hot path under a
+   recording sink and dump a Chrome trace to
+   _build/trace/perf_gate_failure.json for triage
+   (docs/OBSERVABILITY.md).
 
    Run it via `make perf-gate`; refresh the baseline with
    `make bench-baseline` after an intentional performance change. *)
 
 open Dcache_bench_common
+module Obs = Dcache_obs.Obs
 
 let regression_factor = 1.25
 
@@ -22,6 +31,34 @@ let fail fmt =
   Printf.ksprintf
     (fun s ->
       prerr_endline ("perf-gate: " ^ s);
+      exit 1)
+    fmt
+
+(* Re-run the gated push workload with a recording sink and write the
+   trace where the gate-failure triage docs point.  Only called on
+   the perf failures — spans and counters of the exact code under
+   gate, not of the measurement scaffolding. *)
+let failure_trace_path = Filename.concat (Filename.concat "_build" "trace") "perf_gate_failure.json"
+
+let dump_failure_trace () =
+  let r = Obs.recorder () in
+  Obs.set_sink (Obs.Recording r);
+  ignore (Bench_cases.words_per_push ());
+  Obs.set_sink Obs.Noop;
+  let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  match
+    ensure_dir "_build";
+    ensure_dir (Filename.concat "_build" "trace");
+    Obs.write_chrome_trace r ~path:failure_trace_path
+  with
+  | () -> Printf.eprintf "perf-gate: trace of the offending case: %s\n" failure_trace_path
+  | exception Sys_error e -> Printf.eprintf "perf-gate: could not write failure trace: %s\n" e
+
+let fail_perf fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("perf-gate: " ^ s);
+      dump_failure_trace ();
       exit 1)
     fmt
 
@@ -69,12 +106,25 @@ let () =
     base.Bench_json.ns_per_run;
   Printf.printf "fresh (min/3): %12.1f ns/op   (%.3f minor words/request)\n%!" fresh_ns words;
   if words > Bench_cases.max_words_per_push then
-    fail "hot path allocates %.3f minor words/request (budget %.1f)" words
+    fail_perf "hot path allocates %.3f minor words/request (budget %.1f)" words
       Bench_cases.max_words_per_push;
   let limit = base.Bench_json.ns_per_run *. regression_factor in
   if fresh_ns > limit then
-    fail "streaming push regressed: %.1f ns/op > %.1f ns/op (baseline %.1f + %.0f%% budget)"
+    fail_perf "streaming push regressed: %.1f ns/op > %.1f ns/op (baseline %.1f + %.0f%% budget)"
       fresh_ns limit base.Bench_json.ns_per_run
       ((regression_factor -. 1.0) *. 100.0);
-  Printf.printf "OK: streaming push within %.0f%% of baseline\n"
+  (* second budget: the no-op observability contract *)
+  let oc = Bench_cases.measure_obs_cost () in
+  Printf.printf "obs no-op:     %12.3f ns/probe (%.6f words), %.3f%% of a push (budget %.1f%%)\n%!"
+    oc.Bench_cases.probe_ns oc.Bench_cases.probe_words
+    (100.0 *. oc.Bench_cases.overhead_frac)
+    (100.0 *. Bench_cases.max_obs_overhead_frac);
+  if oc.Bench_cases.probe_words > 0.0 then
+    fail_perf "a disabled Obs probe allocates %.6f minor words (budget 0)"
+      oc.Bench_cases.probe_words;
+  if oc.Bench_cases.overhead_frac > Bench_cases.max_obs_overhead_frac then
+    fail_perf "no-op Obs probes cost %.3f%% of a push (budget %.1f%%)"
+      (100.0 *. oc.Bench_cases.overhead_frac)
+      (100.0 *. Bench_cases.max_obs_overhead_frac);
+  Printf.printf "OK: streaming push within %.0f%% of baseline, Noop probes within budget\n"
     ((regression_factor -. 1.0) *. 100.0)

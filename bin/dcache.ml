@@ -25,6 +25,23 @@ let trace_arg =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE" ~doc:"CSV trace file (server,time per line).")
 
+(* [--trace] is taken (the input CSV), so the profiling flag is
+   [--trace-json]; DCACHE_TRACE=FILE works for every subcommand. *)
+let obs_term =
+  let arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event profile (chrome://tracing, Perfetto) of this run to \
+             $(docv); also enabled by $(b,DCACHE_TRACE)=FILE.")
+  in
+  let install path =
+    match path with Some p -> Dcache_obs.Obs.enable_file_trace p | None -> ()
+  in
+  Term.(const install $ arg)
+
 let model_of mu lambda =
   try Ok (Cost_model.make ~mu ~lambda ()) with Invalid_argument msg -> Error msg
 
@@ -152,7 +169,7 @@ let solve_cmd =
   let show_schedule =
     Arg.(value & flag & info [ "schedule" ] ~doc:"List the cache intervals and transfers.")
   in
-  let run trace m mu lambda render show_schedule =
+  let run () trace m mu lambda render show_schedule =
     let model = or_die (model_of mu lambda) in
     let seq = or_die (load_trace trace m) in
     let result = Offline_dp.solve model seq in
@@ -170,7 +187,7 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute the optimal offline schedule for a trace")
-    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ render $ show_schedule)
+    Term.(const run $ obs_term $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ render $ show_schedule)
 
 (* ---------------------------------------------------------------- online *)
 
@@ -188,7 +205,7 @@ let online_cmd =
       & info [ "epoch-size" ] ~docv:"K" ~doc:"Transfers per epoch (default: one unbounded epoch).")
   in
   let events = Arg.(value & flag & info [ "events" ] ~doc:"Print the per-event log.") in
-  let run trace m mu lambda window epoch events =
+  let run () trace m mu lambda window epoch events =
     let model = or_die (model_of mu lambda) in
     let seq = or_die (load_trace trace m) in
     let sc = Online_sc.run ?window ?epoch_size:epoch ~record_events:events model seq in
@@ -215,12 +232,12 @@ let online_cmd =
   in
   Cmd.v
     (Cmd.info "online" ~doc:"Run the online speculative-caching algorithm on a trace")
-    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ window $ epoch $ events)
+    Term.(const run $ obs_term $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ window $ epoch $ events)
 
 (* --------------------------------------------------------------- compare *)
 
 let compare_cmd =
-  let run trace m mu lambda =
+  let run () trace m mu lambda =
     let model = or_die (model_of mu lambda) in
     let seq = or_die (load_trace trace m) in
     let opt = Offline_dp.cost (Offline_dp.solve model seq) in
@@ -248,7 +265,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare every online policy against the offline optimum")
-    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg)
+    Term.(const run $ obs_term $ trace_arg $ m_arg $ mu_arg $ lambda_arg)
 
 (* --------------------------------------------------------------- analyze *)
 
@@ -323,7 +340,7 @@ let stream_cmd =
   let every =
     Arg.(value & opt int 10 & info [ "every" ] ~docv:"K" ~doc:"Report every K requests.")
   in
-  let run trace m mu lambda every =
+  let run () trace m mu lambda every =
     let model = or_die (model_of mu lambda) in
     let seq = or_die (load_trace trace m) in
     let stream = Streaming_dp.create model ~m:(Sequence.m seq) in
@@ -340,18 +357,19 @@ let stream_cmd =
   in
   Cmd.v
     (Cmd.info "stream" ~doc:"Feed a trace through the incremental solver, printing prefix optima")
-    Term.(const run $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ every)
+    Term.(const run $ obs_term $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ every)
 
 (* ----------------------------------------------------------- experiments *)
 
 let experiments_cmd =
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps (for CI).") in
-  let run quick = Dcache_experiments.Experiments.run_all ~quick () in
+  let run () quick = Dcache_experiments.Experiments.run_all ~quick () in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate every table and figure of EXPERIMENTS.md")
-    Term.(const run $ quick)
+    Term.(const run $ obs_term $ quick)
 
 let () =
+  Dcache_obs.Obs.install_from_env ();
   let info =
     Cmd.info "dcache" ~version:"1.0.0"
       ~doc:"Cost-driven data caching in mobile cloud services (ICPP 2017 reproduction)"

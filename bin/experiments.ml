@@ -1,6 +1,6 @@
 (* Standalone regeneration of the experiment tables (E1-E15).
 
-   Usage: experiments [quick] [--domains N] [NAME...]
+   Usage: experiments [quick] [--domains N] [--trace FILE] [NAME...]
 
    With no NAME every report is printed in order; otherwise only the
    named ones.  Pass "quick" for the reduced sweeps used in CI.
@@ -8,7 +8,9 @@
    (E7, E8, E14) run on; the default is the DCACHE_DOMAINS
    environment variable, then the machine's recommended domain
    count.  Output is byte-identical at any domain count (see
-   docs/PERFORMANCE.md). *)
+   docs/PERFORMANCE.md).  `--trace FILE` (or DCACHE_TRACE=FILE)
+   writes a Chrome trace_event profile of the run to FILE at exit
+   (docs/OBSERVABILITY.md). *)
 
 module E = Dcache_experiments.Experiments
 
@@ -32,28 +34,37 @@ let reports =
   ]
 
 let usage () =
-  Printf.eprintf "usage: experiments [quick] [--domains N] [NAME...]\n       (known reports: %s)\n"
+  Printf.eprintf
+    "usage: experiments [quick] [--domains N] [--trace FILE] [NAME...]\n\
+    \       (known reports: %s)\n"
     (String.concat ", " (List.map fst reports));
   exit 2
 
 let () =
+  Dcache_obs.Obs.install_from_env ();
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec strip_domains acc = function
+  let rec strip_options acc = function
     | "--domains" :: v :: rest -> (
         match int_of_string_opt v with
         | Some d when d >= 1 ->
             Dcache_prelude.Pool.set_default_domains d;
-            strip_domains acc rest
+            strip_options acc rest
         | Some _ | None ->
             Printf.eprintf "experiments: --domains needs a positive integer, got %S\n" v;
             usage ())
     | [ "--domains" ] ->
         Printf.eprintf "experiments: --domains needs a value\n";
         usage ()
-    | a :: rest -> strip_domains (a :: acc) rest
+    | "--trace" :: path :: rest ->
+        Dcache_obs.Obs.enable_file_trace path;
+        strip_options acc rest
+    | [ "--trace" ] ->
+        Printf.eprintf "experiments: --trace needs a file name\n";
+        usage ()
+    | a :: rest -> strip_options (a :: acc) rest
     | [] -> List.rev acc
   in
-  let args = strip_domains [] args in
+  let args = strip_options [] args in
   let quick = List.exists (String.equal "quick") args in
   match List.filter (fun a -> a <> "quick") args with
   | [] -> E.run_all ~quick ()

@@ -1,13 +1,21 @@
 (* The batch solver is a thin wrapper over the streaming solver —
    recurrences and reconstruction live in Streaming_dp. *)
 
+module Obs = Dcache_obs.Obs
+
+let sp_solve = Obs.span_name "offline_dp.solve"
+let sp_fill = Obs.span_name "offline_dp.fill"
+let sp_reconstruct = Obs.span_name "offline_dp.reconstruct"
+
 type t = { stream : Streaming_dp.t; n : int }
 
 let solve model seq =
+  Obs.spanned sp_solve @@ fun () ->
   let stream = Streaming_dp.create model ~m:(Sequence.m seq) in
-  for i = 1 to Sequence.n seq do
-    Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
-  done;
+  Obs.spanned sp_fill (fun () ->
+      for i = 1 to Sequence.n seq do
+        Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
+      done);
   { stream; n = Sequence.n seq }
 [@@hot]
 
@@ -20,4 +28,4 @@ let running_bounds r = Array.init (r.n + 1) (fun i -> Streaming_dp.running_at r.
 
 let pivot_of r i = Streaming_dp.pivot_at r.stream i
 
-let schedule r = Streaming_dp.schedule r.stream
+let schedule r = Obs.spanned sp_reconstruct (fun () -> Streaming_dp.schedule r.stream)

@@ -1,3 +1,19 @@
+module Obs = Dcache_obs.Obs
+
+(* registered once; probed in bulk at end-of-run so the request loop
+   pays nothing for them (the epoch histogram is the one in-loop
+   probe, and it fires only on the rare epoch-reset branch) *)
+let c_serves = Obs.counter "online_sc.serves"
+let c_transfers = Obs.counter "online_sc.transfers"
+let c_evictions = Obs.counter "online_sc.evictions"
+let c_epoch_resets = Obs.counter "online_sc.epoch_resets"
+
+let h_epoch_transfers =
+  Obs.histogram "online_sc.epoch_transfers"
+    ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0 |]
+
+let sp_run = Obs.span_name "online_sc.run"
+
 type serve_kind = By_cache | By_transfer of int
 
 type event =
@@ -137,6 +153,7 @@ let rec drain st limit =
   | Some _ | None -> ()
 
 let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy model seq =
+  Obs.spanned sp_run @@ fun () ->
   if epoch_size < 1 then invalid_arg "Online_sc.run: epoch_size must be positive";
   let delta_t =
     match window with
@@ -215,6 +232,7 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
     end;
     last_copy_server := j;
     if !epoch_transfers >= epoch_size then begin
+      if Obs.probe () then Obs.observe h_epoch_transfers (float_of_int !epoch_transfers);
       for k = 0 to m - 1 do
         if k <> j && st.active.(k) then begin
           deactivate st k ti;
@@ -231,6 +249,14 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
   for k = 0 to m - 1 do
     if st.active.(k) then deactivate st k horizon
   done;
+  (* bulk counter flush: one probe for the whole run, nothing in the
+     request loop (evictions = closed cache segments) *)
+  if Obs.probe () then begin
+    Obs.add c_serves n;
+    Obs.add c_transfers !num_transfers;
+    Obs.add c_epoch_resets !num_epochs;
+    Obs.add c_evictions (List.length st.segments)
+  end;
   (* transfers all cost lambda: count them and multiply once, instead
      of folding +. lambda per request (exact, and S4-clean) *)
   {

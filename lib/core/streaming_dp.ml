@@ -12,6 +12,19 @@
    [Gc.minor_words] per push is ~0 — the bench harness asserts this
    (see bench/bench_cases.ml and docs/PERFORMANCE.md). *)
 
+module Obs = Dcache_obs.Obs
+
+(* Probe ids are registered once at module init; on the hot path the
+   whole probe block sits behind a single [Obs.probe ()] load+branch,
+   so the Noop-sink cost of a push is one call (obs_overhead.exe
+   asserts 0 extra minor words and bounds the time). *)
+let c_push = Obs.counter "streaming_dp.push"
+let c_grow = Obs.counter "streaming_dp.grow"
+let c_pivot_slots = Obs.counter "streaming_dp.pivot_slots"
+let g_arena_cap = Obs.gauge "streaming_dp.arena_cap"
+let sp_grow = Obs.span_name "streaming_dp.grow"
+let sp_schedule = Obs.span_name "streaming_dp.schedule"
+
 type c_choice = C_base | C_step | C_cache
 
 type d_choice = D_undefined | D_prev | D_pivot of int
@@ -132,6 +145,7 @@ let pivot_at t i =
    amortised over pushes, and the blocks it allocates are major-heap
    sized long before n is interesting. *)
 let grow t =
+  Obs.spanned sp_grow @@ fun () ->
   let ncap = 2 * t.cap in
   let grow_int a fill =
     let b = Array.make ncap fill in
@@ -157,7 +171,9 @@ let grow t =
   let arena = Array.make (ncap * t.m) (-1) in
   Array.blit t.arena 0 arena 0 (t.len * t.m);
   t.arena <- arena;
-  t.cap <- ncap
+  t.cap <- ncap;
+  Obs.incr c_grow;
+  Obs.set_gauge g_arena_cap (float_of_int (ncap * t.m))
 
 let push t ~server ~time =
   if server < 0 || server >= t.m then invalid_arg "Streaming_dp.push: server out of range";
@@ -219,7 +235,13 @@ let push t ~server ~time =
   (* arena row i = arena row i-1 with this server's column patched *)
   Array.blit t.arena ((i - 1) * t.m) t.arena (i * t.m) t.m;
   t.arena.((i * t.m) + server) <- i;
-  t.len <- i + 1
+  t.len <- i + 1;
+  (* one probe check per push; the counter math inside is a constant
+     (the pivot scan visits exactly m-1 columns whenever q >= 0) *)
+  if Obs.probe () then begin
+    Obs.incr c_push;
+    Obs.add c_pivot_slots (if q >= 0 then t.m - 1 else 0)
+  end
 [@@hot]
 
 (* decoded views of the choice columns, for the reconstruction walk *)
@@ -236,6 +258,7 @@ let d_choice_at t i =
 type walk = Walk_c of int | Walk_d of int
 
 let schedule t =
+  Obs.spanned sp_schedule @@ fun () ->
   let mu = t.model.Cost_model.mu in
   let caches = ref [] and transfers = ref [] in
   let add_cache server from_time to_time =

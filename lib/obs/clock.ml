@@ -1,0 +1,33 @@
+(* Injected time sources for the observability layer.  A clock is
+   just [unit -> int] nanoseconds; the recorder never reads ambient
+   time itself, so swapping the clock swaps every timestamp in a
+   trace without touching any probe site.  [ticks] makes trace
+   timestamps a deterministic function of record order, which is what
+   the reproducibility tests run under. *)
+
+type t = unit -> int
+
+let of_fn f = f
+
+let now t = t ()
+
+(* Wall-derived monotonic nanoseconds, origin at clock creation.
+   [Unix.gettimeofday] is the only ambient read and it happens inside
+   the recording sink exclusively — the algorithms themselves stay
+   deterministic (lint R1 does not even see this module: no Random,
+   no Hashtbl traversal). *)
+let monotonic () =
+  let t0 = Unix.gettimeofday () in
+  fun () ->
+    let dt = Unix.gettimeofday () -. t0 in
+    int_of_float (dt *. 1e9)
+
+(* Virtual tick clock: every read returns the next integer.  Under
+   this clock the full trace — timestamps included — is a pure
+   function of the recorded event sequence.  The counter is atomic so
+   reads from pool helper domains cannot tear, though cross-domain
+   tick *order* still depends on scheduling; the determinism tests
+   therefore compare trace structure, not tick values. *)
+let ticks () =
+  let c = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add c 1

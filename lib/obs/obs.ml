@@ -1,0 +1,592 @@
+(* Zero-overhead observability: typed metrics, span tracing, and
+   pluggable sinks.
+
+   The design center is the cost of the *disabled* path.  Every probe
+   ([incr], [add], [set_gauge], [observe], [enter], [leave], [span])
+   starts with a read of [state.recording] — one load and one branch,
+   small enough for ocamlopt's cross-module inliner — and allocates
+   nothing either way: counters and histogram buckets are arrays of
+   [Atomic.t] cells created at registration, gauges are a flat float
+   array, and span events land in preallocated int/float ring columns.
+   With the default [Noop] sink the instrumented hot paths therefore
+   keep their allocation budget exactly (bench/obs_overhead.ml asserts
+   0 extra minor words and bounds the time cost; bench/perf_gate.exe
+   gates both).
+
+   Multi-domain story: counters and histograms are atomic, so totals
+   are sums of per-task contributions and identical at any domain
+   count.  Span events go to the buffer installed in the recording
+   domain's DLS slot — the recorder's main ring on the installing
+   domain, a positional per-task buffer inside a {!Parallel} job —
+   and per-task buffers are merged back into the main ring in task
+   order, so trace *structure* is independent of how many domains ran
+   the job.  Events recorded on a domain with no installed buffer are
+   counted as strays and dropped. *)
+
+(* ------------------------------------------------------------ registry *)
+
+(* Metric registration is module-init-time work (the instrumented
+   libraries register their probes in top-level [let]s), so a mutex
+   plus linear scans over small arrays is plenty; nothing here is on
+   a hot path.  Re-registering a name returns the existing id. *)
+
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  match f () with
+  | v ->
+      Mutex.unlock registry_lock;
+      v
+  | exception e ->
+      Mutex.unlock registry_lock;
+      raise e
+
+let find_name names name =
+  let n = Array.length names in
+  let rec go i = if i >= n then None else if String.equal names.(i) name then Some i else go (i + 1) in
+  go 0
+
+type counter = int
+type gauge = int
+type span = int
+type histogram = int
+
+let c_names = ref [||]
+let c_cells : int Atomic.t array ref = ref [||]
+
+let g_names = ref [||]
+let g_cells : float array ref = ref [||]
+
+let s_names = ref [||]
+
+type hist = { h_name : string; h_edges : float array; h_counts : int Atomic.t array }
+
+let h_cells : hist array ref = ref [||]
+
+let append cells v = cells := Array.append !cells [| v |]
+
+let counter name =
+  locked (fun () ->
+      match find_name !c_names name with
+      | Some id -> id
+      | None ->
+          append c_names name;
+          append c_cells (Atomic.make 0);
+          Array.length !c_names - 1)
+
+let gauge name =
+  locked (fun () ->
+      match find_name !g_names name with
+      | Some id -> id
+      | None ->
+          append g_names name;
+          g_cells := Array.append !g_cells [| 0.0 |];
+          Array.length !g_names - 1)
+
+let span_name name =
+  locked (fun () ->
+      match find_name !s_names name with
+      | Some id -> id
+      | None ->
+          append s_names name;
+          Array.length !s_names - 1)
+
+let histogram name ~buckets =
+  if Array.length buckets = 0 then invalid_arg "Obs.histogram: need at least one bucket edge";
+  Array.iteri
+    (fun i e ->
+      if i > 0 && not (buckets.(i - 1) < e) then
+        invalid_arg "Obs.histogram: bucket edges must be strictly increasing")
+    buckets;
+  locked (fun () ->
+      let names = Array.map (fun h -> h.h_name) !h_cells in
+      match find_name names name with
+      | Some id -> id
+      | None ->
+          append h_cells
+            {
+              h_name = name;
+              h_edges = Array.copy buckets;
+              h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+            };
+          Array.length !h_cells - 1)
+
+(* ---------------------------------------------------------- event rings *)
+
+(* One preallocated ring per recording context: parallel int columns
+   for tag/name/timestamp/track plus a flat float column for sampled
+   values.  Recording an event is four array stores and an index
+   bump; when the ring is full the oldest event is overwritten (the
+   most recent window is the useful one for triage) and the loss is
+   counted. *)
+
+let tag_begin = 0
+let tag_end = 1
+let tag_sample = 2
+
+type buf = {
+  b_clock : Clock.t;
+  b_track : int;  (* chrome tid: 0 = installing domain, task index + 1 in a job *)
+  b_cap : int;
+  e_tag : int array;
+  e_name : int array;
+  e_ts : int array;
+  e_value : float array;
+  mutable b_start : int;
+  mutable b_len : int;
+  mutable b_lost : int;
+}
+
+let make_buf ~clock ~track cap =
+  {
+    b_clock = clock;
+    b_track = track;
+    b_cap = cap;
+    e_tag = Array.make cap 0;
+    e_name = Array.make cap 0;
+    e_ts = Array.make cap 0;
+    e_value = Array.make cap 0.0;
+    b_start = 0;
+    b_len = 0;
+    b_lost = 0;
+  }
+
+let put b tag name ts value =
+  let slot =
+    if b.b_len < b.b_cap then begin
+      let s = (b.b_start + b.b_len) mod b.b_cap in
+      b.b_len <- b.b_len + 1;
+      s
+    end
+    else begin
+      let s = b.b_start in
+      b.b_start <- (b.b_start + 1) mod b.b_cap;
+      b.b_lost <- b.b_lost + 1;
+      s
+    end
+  in
+  b.e_tag.(slot) <- tag;
+  b.e_name.(slot) <- name;
+  b.e_ts.(slot) <- ts;
+  b.e_value.(slot) <- value
+
+let record_into b tag name value = put b tag name (b.b_clock ()) value
+
+(* iterate the retained window oldest-first *)
+let iter_buf b f =
+  for k = 0 to b.b_len - 1 do
+    let i = (b.b_start + k) mod b.b_cap in
+    f b.e_tag.(i) b.e_name.(i) b.e_ts.(i) b.e_value.(i) b.b_track
+  done
+
+(* -------------------------------------------------------------- recorder *)
+
+type recorder = { r_clock : Clock.t; r_main : buf; r_stray : int Atomic.t }
+
+type sink = Noop | Recording of recorder
+
+let default_capacity = 1 lsl 18
+
+let recorder ?clock ?(capacity = default_capacity) () =
+  if capacity < 16 then invalid_arg "Obs.recorder: capacity must be at least 16";
+  let clock = match clock with Some c -> c | None -> Clock.monotonic () in
+  { r_clock = clock; r_main = make_buf ~clock ~track:0 capacity; r_stray = Atomic.make 0 }
+
+type state_t = { mutable recording : bool; mutable current : recorder option }
+
+let state = { recording = false; current = None }
+
+(* Which buffer this domain's span events go to.  [set_sink] installs
+   the main ring on the calling domain; [Parallel.task] swaps in the
+   task's positional buffer for the duration of the task body. *)
+let current_buf : buf option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let probe () = state.recording
+
+let sink () = match state.current with None -> Noop | Some r -> Recording r
+
+let set_sink s =
+  match s with
+  | Noop ->
+      state.recording <- false;
+      state.current <- None;
+      Domain.DLS.set current_buf None
+  | Recording r ->
+      state.current <- Some r;
+      Domain.DLS.set current_buf (Some r.r_main);
+      state.recording <- true
+
+let events_lost r = r.r_main.b_lost + Atomic.get r.r_stray
+
+(* ---------------------------------------------------------------- probes *)
+
+let incr c = if state.recording then Atomic.incr !c_cells.(c)
+
+let add c n = if state.recording then ignore (Atomic.fetch_and_add !c_cells.(c) n)
+
+let record tag name value =
+  match Domain.DLS.get current_buf with
+  | Some b -> record_into b tag name value
+  | None -> ( match state.current with Some r -> Atomic.incr r.r_stray | None -> ())
+
+let set_gauge g v =
+  if state.recording then begin
+    !g_cells.(g) <- v;
+    record tag_sample g v
+  end
+
+let observe h v =
+  if state.recording then begin
+    let hist = !h_cells.(h) in
+    let edges = hist.h_edges in
+    let n = Array.length edges in
+    let rec bucket i = if i >= n || v <= edges.(i) then i else bucket (i + 1) in
+    Atomic.incr hist.h_counts.(bucket 0)
+  end
+
+let enter sp = if state.recording then record tag_begin sp 0.0
+
+let leave sp = if state.recording then record tag_end sp 0.0
+
+let spanned sp f =
+  if not state.recording then f ()
+  else begin
+    record tag_begin sp 0.0;
+    match f () with
+    | v ->
+        record tag_end sp 0.0;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        record tag_end sp 0.0;
+        Printexc.raise_with_backtrace e bt
+  end
+
+let span name f = if not state.recording then f () else spanned (span_name name) f
+
+(* -------------------------------------------------------------- readback *)
+
+let counter_value c = Atomic.get !c_cells.(c)
+
+let gauge_value g = !g_cells.(g)
+
+let histogram_counts h =
+  let hist = !h_cells.(h) in
+  Array.map Atomic.get hist.h_counts
+
+let histogram_edges h = Array.copy !h_cells.(h).h_edges
+
+let counter_totals () =
+  let names = !c_names and cells = !c_cells in
+  let pairs = List.init (Array.length names) (fun i -> (names.(i), Atomic.get cells.(i))) in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
+
+let reset () =
+  Array.iter (fun c -> Atomic.set c 0) !c_cells;
+  g_cells := Array.map (fun _ -> 0.0) !g_cells;
+  Array.iter (fun h -> Array.iter (fun c -> Atomic.set c 0) h.h_counts) !h_cells;
+  match state.current with
+  | None -> ()
+  | Some r ->
+      r.r_main.b_start <- 0;
+      r.r_main.b_len <- 0;
+      r.r_main.b_lost <- 0;
+      Atomic.set r.r_stray 0
+
+(* ------------------------------------------------------ parallel regions *)
+
+module Parallel = struct
+  type job = {
+    j_span : span;
+    j_task_span : span;
+    j_wait_gauge : gauge;
+    j_post_ns : int;
+    j_bufs : buf array;
+    j_rec : recorder;
+  }
+
+  (* Jobs have one buffer per *task* (sweeps can have thousands), so
+     keep them small: a task records a wait sample, its own span, and
+     a handful of nested solver spans.  Overflow drops the task's
+     oldest events and is counted, like the main ring. *)
+  let task_capacity = 64
+
+  let job_begin ~span:sp ~task_span ~wait_gauge ~tasks =
+    if not state.recording then None
+    else
+      match state.current with
+      | None -> None
+      | Some r ->
+          record tag_begin sp 0.0;
+          let bufs =
+            Array.init tasks (fun i -> make_buf ~clock:r.r_clock ~track:(i + 1) task_capacity)
+          in
+          Some
+            {
+              j_span = sp;
+              j_task_span = task_span;
+              j_wait_gauge = wait_gauge;
+              j_post_ns = Clock.now r.r_clock;
+              j_bufs = bufs;
+              j_rec = r;
+            }
+
+  let task j i f =
+    let b = j.j_bufs.(i) in
+    let saved = Domain.DLS.get current_buf in
+    Domain.DLS.set current_buf (Some b);
+    let started = Clock.now b.b_clock in
+    put b tag_sample j.j_wait_gauge started (float_of_int (started - j.j_post_ns));
+    put b tag_begin j.j_task_span started 0.0;
+    let restore () =
+      record_into b tag_end j.j_task_span 0.0;
+      Domain.DLS.set current_buf saved
+    in
+    match f () with
+    | v ->
+        restore ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        restore ();
+        Printexc.raise_with_backtrace e bt
+
+  (* Called on the submitting domain after the join: replay every
+     task buffer into the main ring in task order, so the exported
+     stream is independent of the domain count and chunk schedule. *)
+  let job_end j =
+    let main = j.j_rec.r_main in
+    Array.iter
+      (fun b ->
+        iter_buf b (fun tag name ts value _track -> put main tag name ts value);
+        main.b_lost <- main.b_lost + b.b_lost)
+      j.j_bufs;
+    record tag_end j.j_span 0.0
+end
+
+(* -------------------------------------------------- export: chrome trace *)
+
+(* The trace_event JSON array format chrome://tracing and Perfetto
+   load: B/E duration events plus C counter samples, timestamps in
+   microseconds.  Tracks ([tid]) are logical — 0 for the installing
+   domain, task index + 1 inside a parallel job — never physical
+   domain ids, so a trace's shape is domain-count independent.  The
+   emitter keeps a per-track depth so a window truncated by ring
+   overwrite still produces balanced B/E pairs. *)
+
+let escape_json b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+(* span-name/gauge-name lookup with a safe fallback: a trace written
+   after [reset] races nothing, but a stale id must not raise *)
+let name_of names id = if id >= 0 && id < Array.length names then names.(id) else "?"
+
+type track_state = { t_id : int; mutable t_depth : int; mutable t_open : (int * int) list }
+(* t_open: (span id, begin ts) stack, for closing truncated spans *)
+
+let chrome_json r =
+  let b = Buffer.create 65536 in
+  let first = ref true in
+  let event fields =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b "    {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_char b '"';
+        Buffer.add_string b k;
+        Buffer.add_string b "\": ";
+        Buffer.add_string b v)
+      fields;
+    Buffer.add_char b '}'
+  in
+  let str s =
+    let sb = Buffer.create 16 in
+    Buffer.add_char sb '"';
+    escape_json sb s;
+    Buffer.add_char sb '"';
+    Buffer.contents sb
+  in
+  let num f = Printf.sprintf "%.3f" f in
+  Buffer.add_string b "{\n  \"traceEvents\": [\n";
+  let tracks = ref [] in
+  let track id =
+    match List.find_opt (fun t -> t.t_id = id) !tracks with
+    | Some t -> t
+    | None ->
+        let t = { t_id = id; t_depth = 0; t_open = [] } in
+        tracks := t :: !tracks;
+        t
+  in
+  let last_ts = ref 0 in
+  iter_buf r.r_main (fun tag name ts value track_id ->
+      let t = track track_id in
+      if ts > !last_ts then last_ts := ts;
+      if tag = tag_begin then begin
+        t.t_depth <- t.t_depth + 1;
+        t.t_open <- (name, ts) :: t.t_open;
+        event
+          [
+            ("name", str (name_of !s_names name));
+            ("ph", str "B");
+            ("ts", num (us_of_ns ts));
+            ("pid", "1");
+            ("tid", string_of_int t.t_id);
+          ]
+      end
+      else if tag = tag_end then begin
+        (* an E whose B was overwritten by the ring would corrupt
+           nesting: drop it *)
+        if t.t_depth > 0 then begin
+          t.t_depth <- t.t_depth - 1;
+          (t.t_open <- (match t.t_open with _ :: rest -> rest | [] -> []));
+          event
+            [
+              ("name", str (name_of !s_names name));
+              ("ph", str "E");
+              ("ts", num (us_of_ns ts));
+              ("pid", "1");
+              ("tid", string_of_int t.t_id);
+            ]
+        end
+      end
+      else
+        event
+          [
+            ("name", str (name_of !g_names name));
+            ("ph", str "C");
+            ("ts", num (us_of_ns ts));
+            ("pid", "1");
+            ("tid", string_of_int t.t_id);
+            ("args", Printf.sprintf "{\"value\": %.3f}" value);
+          ]);
+  (* close spans the window ended inside of *)
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (name, _) ->
+          event
+            [
+              ("name", str (name_of !s_names name));
+              ("ph", str "E");
+              ("ts", num (us_of_ns !last_ts));
+              ("pid", "1");
+              ("tid", string_of_int t.t_id);
+            ])
+        t.t_open)
+    !tracks;
+  (* final counter samples so totals are visible in the viewer *)
+  List.iter
+    (fun (cname, total) ->
+      event
+        [
+          ("name", str cname);
+          ("ph", str "C");
+          ("ts", num (us_of_ns !last_ts));
+          ("pid", "1");
+          ("tid", "0");
+          ("args", Printf.sprintf "{\"value\": %d}" total);
+        ])
+    (counter_totals ());
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"displayTimeUnit\": \"ms\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"otherData\": {\"schema\": \"dcache-trace/1\", \"eventsLost\": %d}\n"
+       (events_lost r));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write_chrome_trace r ~path =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (chrome_json r))
+
+(* ------------------------------------------------- export: span tree *)
+
+(* Aggregated call tree over the merged stream.  One logical stack —
+   not per-track — because the positional merge nests every task's
+   events between its job's B and E, so stream order *is* the logical
+   nesting.  Children are keyed by span name in first-seen order;
+   with [timings:false] the rendering is a pure function of trace
+   structure, which is what the determinism tests compare. *)
+
+type node = {
+  n_name : int;
+  mutable n_count : int;
+  mutable n_ns : int;
+  mutable n_children : node list;  (* reverse first-seen order *)
+}
+
+let tree_string ?(timings = true) r =
+  let root = { n_name = -1; n_count = 0; n_ns = 0; n_children = [] } in
+  let stack = ref [ (root, 0) ] in
+  iter_buf r.r_main (fun tag name ts _value _track ->
+      if tag = tag_begin then begin
+        let parent = match !stack with (p, _) :: _ -> p | [] -> root in
+        let child =
+          match List.find_opt (fun c -> c.n_name = name) parent.n_children with
+          | Some c -> c
+          | None ->
+              let c = { n_name = name; n_count = 0; n_ns = 0; n_children = [] } in
+              parent.n_children <- c :: parent.n_children;
+              c
+        in
+        child.n_count <- child.n_count + 1;
+        stack := (child, ts) :: !stack
+      end
+      else if tag = tag_end then
+        match !stack with
+        | (n, t0) :: ((_ :: _) as rest) ->
+            n.n_ns <- n.n_ns + (ts - t0);
+            stack := rest
+        | _ -> () (* unmatched end after ring truncation: skip *));
+  let b = Buffer.create 4096 in
+  let rec render depth n =
+    let pad = String.make (2 * depth) ' ' in
+    if timings then
+      Buffer.add_string b
+        (Printf.sprintf "%s%s x%d  %.3f ms\n" pad (name_of !s_names n.n_name) n.n_count
+           (float_of_int n.n_ns /. 1e6))
+    else Buffer.add_string b (Printf.sprintf "%s%s x%d\n" pad (name_of !s_names n.n_name) n.n_count);
+    List.iter (render (depth + 1)) (List.rev n.n_children)
+  in
+  List.iter (render 0) (List.rev root.n_children);
+  if timings then
+    Buffer.add_string b (Printf.sprintf "(%d events lost)\n" (events_lost r));
+  Buffer.contents b
+
+(* ------------------------------------------------------------- wiring *)
+
+(* `--trace FILE` / DCACHE_TRACE=FILE in the executables land here: a
+   fresh recording sink now, one trace written at exit. *)
+
+let trace_at_exit = ref None
+
+let enable_file_trace ?clock ?capacity path =
+  let r = recorder ?clock ?capacity () in
+  set_sink (Recording r);
+  (match !trace_at_exit with
+  | Some _ -> ()
+  | None -> at_exit (fun () ->
+        match !trace_at_exit with
+        | Some (r, path) -> write_chrome_trace r ~path
+        | None -> ()));
+  trace_at_exit := Some (r, path)
+
+let env_var = "DCACHE_TRACE"
+
+let install_from_env () =
+  match Sys.getenv_opt env_var with
+  | Some path when String.length (String.trim path) > 0 -> enable_file_trace (String.trim path)
+  | Some _ | None -> ()

@@ -1,0 +1,173 @@
+(** Zero-overhead observability: typed metrics, span tracing, and
+    pluggable sinks.
+
+    Every probe is gated on one mutable-field read ({!probe}) and
+    allocates nothing on either side of the branch: counters and
+    histogram buckets are [Atomic.t] cells created once at
+    registration, gauges live in a flat float array, and span events
+    are four stores into preallocated ring columns.  With the default
+    {!Noop} sink an instrumented [[@@hot]] path keeps its allocation
+    budget bit-for-bit; [bench/obs_overhead.exe] asserts the 0-word /
+    <2%-time contract and [bench/perf_gate.exe] gates it.
+
+    Determinism: counters are commutative atomic sums and span events
+    from {!Parallel} jobs are merged positionally by task index, so
+    counter totals and trace {e structure} are identical at any
+    domain count.  Timestamps come from the injected {!Clock} — real
+    monotonic nanoseconds for humans, a virtual tick clock under
+    test.  See [docs/OBSERVABILITY.md]. *)
+
+(** {1 Metric registration}
+
+    Register in a top-level [let] of the instrumented module (ids are
+    cheap ints; re-registering a name returns the existing id), then
+    probe through the id on the hot path. *)
+
+type counter
+(** Monotonic event count, one atomic cell. *)
+
+type gauge
+(** Last-written float value; every {!set_gauge} also records a
+    sample event on the current trace track. *)
+
+type histogram
+(** Fixed-bucket distribution: one atomic cell per bucket plus an
+    overflow bucket. *)
+
+type span
+(** Interned span name, for allocation-free {!enter}/{!leave} and
+    {!spanned} at hot call sites. *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+val span_name : string -> span
+
+val histogram : string -> buckets:float array -> histogram
+(** [buckets] are upper bucket edges, strictly increasing; a value
+    [v] lands in the first bucket with [v <= edge], or the implicit
+    overflow bucket.
+    @raise Invalid_argument on empty or non-increasing edges. *)
+
+(** {1 Sinks} *)
+
+type recorder
+(** A recording context: an injected clock plus a preallocated event
+    ring.  When the ring fills, the oldest events are overwritten
+    (the recent window is the one triage needs) and the loss is
+    reported via {!events_lost} and in the exported trace. *)
+
+type sink = Noop | Recording of recorder
+
+val recorder : ?clock:Clock.t -> ?capacity:int -> unit -> recorder
+(** Fresh recorder; [clock] defaults to {!Clock.monotonic}, [capacity]
+    (events) to [2^18].
+    @raise Invalid_argument if [capacity < 16]. *)
+
+val set_sink : sink -> unit
+(** Install a sink process-wide.  [Noop] (the initial state) turns
+    every probe into a constant-false branch; [Recording r] routes
+    span events of the calling domain to [r]'s main ring and enables
+    all probes. *)
+
+val sink : unit -> sink
+(** The currently installed sink. *)
+
+val probe : unit -> bool
+(** One mutable-field read: [true] iff a recording sink is installed.
+    Hot paths hoist a single [if Obs.probe () then ...] around their
+    per-call probe block so the disabled cost is one load+branch. *)
+
+(** {1 Probes}
+
+    All are no-ops (no allocation, no stores) under {!Noop}. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set_gauge : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+val enter : span -> unit
+(** Record a span-begin event on the current track.  Pair with
+    {!leave}; prefer {!spanned} wherever a closure is acceptable. *)
+
+val leave : span -> unit
+
+val spanned : span -> (unit -> 'a) -> 'a
+(** [spanned sp f] runs [f] inside span [sp]: exception-safe, and
+    calls [f] directly (no event, no allocation) when disabled. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] is [spanned (span_name name) f] — interns on every
+    call, so register a {!span_name} once for frequent sites. *)
+
+(** {1 Readback} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val histogram_edges : histogram -> float array
+val histogram_counts : histogram -> int array
+
+val counter_totals : unit -> (string * int) list
+(** All registered counters with their current values, sorted by
+    name.  Deterministic at any domain count: totals are sums of
+    atomic increments. *)
+
+val reset : unit -> unit
+(** Zero every counter, gauge and histogram and clear the recording
+    ring (if any).  For tests and back-to-back runs sharing a
+    process. *)
+
+val events_lost : recorder -> int
+(** Events dropped by ring overwrite plus events recorded on domains
+    with no installed buffer. *)
+
+(** {1 Parallel regions}
+
+    Used by [Pool]: each task of a job records into its own
+    positional buffer (track = task index + 1), merged back into the
+    main ring in task order after the join — trace structure is
+    independent of domain count and chunk schedule. *)
+
+module Parallel : sig
+  type job
+
+  val job_begin : span:span -> task_span:span -> wait_gauge:gauge -> tasks:int -> job option
+  (** Open a job span on the submitting domain and preallocate one
+      buffer per task.  [None] when not recording — callers keep the
+      uninstrumented fast path. *)
+
+  val task : job -> int -> (unit -> 'a) -> 'a
+  (** [task j i f] runs task [i]'s body with its positional buffer
+      installed, recording a queue-wait sample ([wait_gauge], ns
+      since [job_begin]) and a [task_span].  Exception-safe. *)
+
+  val job_end : job -> unit
+  (** After the join, on the submitting domain: merge task buffers
+      positionally and close the job span. *)
+end
+
+(** {1 Export} *)
+
+val chrome_json : recorder -> string
+(** The trace as Chrome [trace_event] JSON ([chrome://tracing] /
+    Perfetto): B/E duration events and C counter samples, [tid] =
+    logical track, timestamps in microseconds from the recorder's
+    clock.  Windows truncated by ring overwrite are re-balanced. *)
+
+val write_chrome_trace : recorder -> path:string -> unit
+
+val tree_string : ?timings:bool -> recorder -> string
+(** Human-readable aggregated span tree (children in first-seen
+    order).  With [~timings:false] the output is a pure function of
+    trace structure — what the determinism tests compare. *)
+
+(** {1 Wiring} *)
+
+val enable_file_trace : ?clock:Clock.t -> ?capacity:int -> string -> unit
+(** Install a fresh recording sink now and write its Chrome trace to
+    the given path at process exit.  Repeated calls retarget the
+    exit dump to the latest recorder/path. *)
+
+val install_from_env : unit -> unit
+(** [enable_file_trace path] when [DCACHE_TRACE=path] is set and
+    non-empty; otherwise leave the {!Noop} sink in place. *)

@@ -13,6 +13,18 @@
    [Rng.derive parent i], no shared mutable state — the output is
    byte-identical at any domain count and any chunk schedule. *)
 
+module Obs = Dcache_obs.Obs
+
+(* Trace probes: one span for the whole parallel region, one per
+   task, and a queue-wait gauge (ns between job post and task start).
+   Task events land in positional per-task buffers keyed by element
+   index — never by chunk or domain, both of which depend on the
+   domain count — so the merged trace has the same structure at any
+   width.  All of it is dead (a [None] job) under the Noop sink. *)
+let sp_job = Obs.span_name "pool.parallel"
+let sp_task = Obs.span_name "pool.task"
+let g_queue_wait = Obs.gauge "pool.queue_wait_ns"
+
 type t = {
   lock : Mutex.t;
   ready : Condition.t; (* a new job was posted, or shutdown *)
@@ -179,12 +191,28 @@ let parallel_init ?chunk t n f =
     in
     let nchunks = ((n - 1) / chunk) + 1 in
     let out = Array.make n None in
-    run_chunks t ~chunks:nchunks (fun k ->
-        let lo = k * chunk in
-        let hi = min n (lo + chunk) - 1 in
-        for i = lo to hi do
-          out.(i) <- Some (f i)
-        done);
+    let job = Obs.Parallel.job_begin ~span:sp_job ~task_span:sp_task ~wait_gauge:g_queue_wait ~tasks:n in
+    let task =
+      match job with
+      | None -> f
+      | Some j -> fun i -> Obs.Parallel.task j i (fun () -> f i)
+    in
+    let finish () = match job with None -> () | Some j -> Obs.Parallel.job_end j in
+    (match
+       run_chunks t ~chunks:nchunks (fun k ->
+           let lo = k * chunk in
+           let hi = min n (lo + chunk) - 1 in
+           for i = lo to hi do
+             out.(i) <- Some (task i)
+           done)
+     with
+    | () -> finish ()
+    | exception e ->
+        (* merge whatever completed: a partial trace is exactly what
+           failure triage wants *)
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt);
     Array.map (function Some v -> v | None -> assert false) out
   end
 

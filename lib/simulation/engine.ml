@@ -1,4 +1,14 @@
 open Dcache_core
+module Obs = Dcache_obs.Obs
+
+(* one span per simulated run; counters mirror the Metrics.t totals
+   so end-of-run snapshots land in traces and bench JSON *)
+let sp_run = Obs.span_name "engine.run"
+let c_hits = Obs.counter "engine.cache_hits"
+let c_misses = Obs.counter "engine.cache_misses"
+let c_transfers = Obs.counter "engine.transfers"
+let c_uploads = Obs.counter "engine.uploads"
+let c_evictions = Obs.counter "engine.evictions"
 
 type costs = {
   mu_of : int -> float;
@@ -120,6 +130,7 @@ let apply st ~request_server ~served action =
       Dcache_prelude.Pqueue.push st.timers (at, st.timer_stamp, server)
 
 let run ?costs (module P : Policy.POLICY) model seq =
+  Obs.spanned sp_run @@ fun () ->
   let costs = match costs with Some c -> c | None -> homogeneous model in
   let m = Sequence.m seq and n = Sequence.n seq in
   let st =
@@ -185,6 +196,13 @@ let run ?costs (module P : Policy.POLICY) model seq =
   for s = 0 to m - 1 do
     if st.resident.(s) then remove_copy st s
   done;
+  if Obs.probe () then begin
+    Obs.add c_hits st.hits;
+    Obs.add c_misses st.misses;
+    Obs.add c_transfers st.num_transfers;
+    Obs.add c_uploads st.num_uploads;
+    Obs.add c_evictions (List.length st.caches)
+  end;
   let metrics =
     {
       Metrics.caching_cost = st.caching;

@@ -11,9 +11,12 @@ type t = {
   copy_time : float;
 }
 
+(* 0-request runs have ratio 0., not nan: nan poisoned every consumer
+   that aggregated or printed it (bin/experiments report rows) and
+   compares unequal to itself, which broke table round-trips *)
 let hit_ratio t =
   let total = t.cache_hits + t.cache_misses in
-  if total = 0 then nan else float_of_int t.cache_hits /. float_of_int total
+  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
 
 let pp ppf t =
   Format.fprintf ppf

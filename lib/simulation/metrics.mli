@@ -14,6 +14,7 @@ type t = {
 }
 
 val hit_ratio : t -> float
-(** [cache_hits / (hits + misses)]; [nan] with no requests. *)
+(** [cache_hits / (hits + misses)]; [0.] with no requests (never
+    [nan]: the ratio is always printable and aggregatable). *)
 
 val pp : Format.formatter -> t -> unit

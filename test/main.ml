@@ -15,6 +15,7 @@ let () =
       ("predictive", Test_predictive.suite);
       ("streaming", Test_streaming.suite);
       ("viz", Test_viz.suite);
+      ("obs", Test_obs.suite);
       ("invariants", Test_invariants.suite);
       ("lint", Test_lint.suite);
       ("sema", Test_sema.suite);

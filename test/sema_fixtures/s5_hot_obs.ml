@@ -1,0 +1,20 @@
+(* S5 fixture: a [@@hot] body constructing a Recording sink per call
+   instead of probing the one installed at startup. *)
+
+type recorder = { mutable events : int }
+type sink = Noop | Recording of recorder
+
+let hot_trace x =
+  let s = Recording { events = 0 } in
+  match s with Noop -> x | Recording r -> r.events + x
+[@@hot]
+
+(* exemption: the same construction outside a hot binding is the
+   sanctioned startup pattern *)
+let startup_sink () = Recording { events = 0 }
+
+(* exemption: a constructor that happens to be called Recording on a
+   type that is not a sink *)
+type mode = Idle | Recording of string
+
+let hot_mode x = match (Recording "tape" : mode) with Idle -> x | Recording _ -> x + 1 [@@hot]

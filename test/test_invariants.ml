@@ -110,7 +110,11 @@ let metrics_hit_ratio_edges () =
       copy_time = 0.;
     }
   in
-  Alcotest.(check bool) "no requests -> nan" true (Float.is_nan (Sim.Metrics.hit_ratio base));
+  (* regression: an empty run used to yield nan, which poisoned any
+     aggregate the ratio flowed into — the contract is now 0. *)
+  check_float "no requests -> 0, never nan" 0.0 (Sim.Metrics.hit_ratio base);
+  Alcotest.(check bool) "no requests ratio is not nan" false
+    (Float.is_nan (Sim.Metrics.hit_ratio base));
   check_float "all hits" 1.0 (Sim.Metrics.hit_ratio { base with cache_hits = 5 });
   check_float "half" 0.5 (Sim.Metrics.hit_ratio { base with cache_hits = 2; cache_misses = 2 });
   (* formatter smoke *)

@@ -1,0 +1,197 @@
+(* dcache_obs: metric registration and readback, sink gating, span
+   trees, Chrome trace export, ring-overwrite accounting, and the
+   determinism contract — the same seeded sweep records an identical
+   span-tree structure and identical counter totals at pool widths 1
+   and 4 (mirroring test_pool's byte-identical CSV check). *)
+
+module Obs = Dcache_obs.Obs
+module Clock = Dcache_obs.Clock
+module Bench_json = Dcache_bench_common.Bench_json
+module Pool = Dcache_prelude.Pool
+module Rng = Dcache_prelude.Rng
+open Helpers
+
+(* see test_pool.ml: module-level pools are torn down with the process *)
+let pool1 = Pool.create ~domains:1 ()
+let pool4 = Pool.create ~domains:4 ()
+
+let c_clicks = Obs.counter "test.obs.clicks"
+let g_level = Obs.gauge "test.obs.level"
+let h_sizes = Obs.histogram "test.obs.sizes" ~buckets:[| 1.0; 2.0; 4.0 |]
+let sp_outer = Obs.span_name "test.obs.outer"
+let sp_inner = Obs.span_name "test.obs.inner"
+
+(* Virtual tick clock so nothing here depends on wall time; always
+   restore the Noop sink and zeroed metrics for the other suites. *)
+let with_recording ?capacity f =
+  let r = Obs.recorder ~clock:(Clock.ticks ()) ?capacity () in
+  Obs.set_sink (Obs.Recording r);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.Noop;
+      Obs.reset ())
+    (fun () -> f r)
+
+let noop_probes_are_dead () =
+  Obs.reset ();
+  Alcotest.(check bool) "initial sink is Noop" true
+    (match Obs.sink () with Obs.Noop -> true | Obs.Recording _ -> false);
+  Alcotest.(check bool) "probe is false" false (Obs.probe ());
+  Obs.incr c_clicks;
+  Obs.add c_clicks 7;
+  Obs.set_gauge g_level 3.5;
+  Obs.observe h_sizes 1.5;
+  Obs.enter sp_outer;
+  Obs.leave sp_outer;
+  Alcotest.(check int) "disabled incr/add left 0" 0 (Obs.counter_value c_clicks);
+  check_float "disabled set_gauge left 0" 0.0 (Obs.gauge_value g_level);
+  Alcotest.(check (array int)) "disabled observe left zeros" [| 0; 0; 0; 0 |]
+    (Obs.histogram_counts h_sizes)
+
+let registration_and_readback () =
+  with_recording @@ fun _r ->
+  Alcotest.(check bool) "probe is true while recording" true (Obs.probe ());
+  (* re-registration interns to the same cell *)
+  let again = Obs.counter "test.obs.clicks" in
+  Obs.incr c_clicks;
+  Obs.add again 4;
+  Alcotest.(check int) "incr + add through both handles" 5 (Obs.counter_value c_clicks);
+  Obs.set_gauge g_level 2.5;
+  check_float "gauge readback" 2.5 (Obs.gauge_value g_level)
+
+let histogram_buckets () =
+  with_recording @@ fun _r ->
+  List.iter (Obs.observe h_sizes) [ 0.5; 1.0; 1.5; 4.0; 9.0 ];
+  Alcotest.(check (array (float 1e-9))) "edges" [| 1.0; 2.0; 4.0 |] (Obs.histogram_edges h_sizes);
+  (* v lands in the first bucket with v <= edge; 9.0 overflows *)
+  Alcotest.(check (array int)) "counts with overflow" [| 2; 1; 1; 1 |]
+    (Obs.histogram_counts h_sizes)
+
+let invalid_registrations () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty buckets rejected" true
+    (bad (fun () -> Obs.histogram "test.obs.bad-empty" ~buckets:[||]));
+  Alcotest.(check bool) "non-increasing buckets rejected" true
+    (bad (fun () -> Obs.histogram "test.obs.bad-order" ~buckets:[| 1.0; 1.0 |]));
+  Alcotest.(check bool) "tiny recorder rejected" true
+    (bad (fun () -> Obs.recorder ~capacity:8 ()))
+
+let span_tree_and_chrome_export () =
+  with_recording @@ fun r ->
+  Obs.spanned sp_outer (fun () ->
+      Obs.spanned sp_inner (fun () -> ());
+      Obs.span "test.obs.named" (fun () -> ());
+      Obs.enter sp_inner;
+      Obs.leave sp_inner);
+  Obs.incr c_clicks;
+  let tree = Obs.tree_string ~timings:false r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in tree") true
+        (let nl = String.length needle and hl = String.length tree in
+         let rec go i = i + nl <= hl && (String.sub tree i nl = needle || go (i + 1)) in
+         go 0))
+    [ "test.obs.outer"; "test.obs.inner"; "test.obs.named" ];
+  Alcotest.(check int) "no events lost" 0 (Obs.events_lost r);
+  (* the Chrome export is real JSON with the documented envelope *)
+  match Bench_json.of_string (Obs.chrome_json r) with
+  | Error e -> Alcotest.failf "chrome_json does not parse: %s" e
+  | Ok v -> (
+      (match Bench_json.to_list (Bench_json.member "traceEvents" v) with
+      | Some events -> Alcotest.(check bool) "has trace events" true (List.length events > 0)
+      | None -> Alcotest.fail "traceEvents missing");
+      match Bench_json.member "otherData" v with
+      | Some od ->
+          Alcotest.(check (option string)) "schema id" (Some "dcache-trace/1")
+            (Bench_json.to_str (Bench_json.member "schema" od))
+      | None -> Alcotest.fail "otherData missing")
+
+let ring_overwrite_is_accounted () =
+  (* minimum-size ring (with a hand-rolled of_fn clock): 100 spans
+     cannot fit, the oldest are dropped and the loss is reported; the
+     export still parses *)
+  let t = ref 0 in
+  let clock =
+    Clock.of_fn (fun () ->
+        incr t;
+        !t)
+  in
+  let r = Obs.recorder ~clock ~capacity:16 () in
+  Obs.set_sink (Obs.Recording r);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.Noop;
+      Obs.reset ())
+    (fun () ->
+      for _ = 1 to 100 do
+        Obs.spanned sp_inner (fun () -> ())
+      done;
+      Alcotest.(check bool) "of_fn clock advanced" true (Clock.now clock > 0);
+      Alcotest.(check bool) "events lost reported" true (Obs.events_lost r > 0);
+      match Bench_json.of_string (Obs.chrome_json r) with
+      | Error e -> Alcotest.failf "truncated trace does not parse: %s" e
+      | Ok _ -> ())
+
+(* ------------------------------------------------------- determinism *)
+
+(* The test_pool sweep, but what we capture is the observability side:
+   span-tree structure and counter totals.  The Parallel merge is
+   positional by task index, and counters are commutative atomic
+   sums, so both must be identical at any pool width. *)
+let sweep pool root cells =
+  let model = Dcache_core.Cost_model.make ~mu:1.0 ~lambda:2.0 () in
+  let costs =
+    Pool.parallel_init pool cells (fun i ->
+        let rng = Rng.derive root i in
+        let m = 2 + (i mod 4) in
+        let n = 10 + (i mod 23) in
+        let clock = ref 0.0 in
+        let requests =
+          Array.init n (fun _ ->
+              clock := !clock +. Rng.float_in rng 0.05 1.0;
+              Dcache_core.Request.make ~server:(Rng.int rng m) ~time:!clock)
+        in
+        let seq = Dcache_core.Sequence.create_exn ~m requests in
+        Dcache_core.Offline_dp.cost (Dcache_core.Offline_dp.solve model seq))
+  in
+  Array.fold_left ( +. ) 0.0 costs
+
+let observed_sweep pool =
+  Obs.reset ();
+  let r = Obs.recorder ~clock:(Clock.ticks ()) () in
+  Obs.set_sink (Obs.Recording r);
+  Fun.protect
+    ~finally:(fun () -> Obs.set_sink Obs.Noop)
+    (fun () ->
+      let total = sweep pool (Rng.create 1234) 17 in
+      (total, Obs.tree_string ~timings:false r, Obs.counter_totals ()))
+
+let trace_is_width_independent () =
+  let total1, tree1, counters1 = observed_sweep pool1 in
+  let total4, tree4, counters4 = observed_sweep pool4 in
+  Obs.reset ();
+  check_float "sweep result unchanged" total1 total4;
+  Alcotest.(check string) "span tree structure identical at widths 1 and 4" tree1 tree4;
+  Alcotest.(check (list (pair string int))) "counter totals identical at widths 1 and 4"
+    counters1 counters4;
+  (* the sweep exercised the instrumented layers end to end *)
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pool span present" true (contains "pool.parallel" tree1);
+  Alcotest.(check bool) "offline-dp span present" true (contains "offline_dp.solve" tree1);
+  Alcotest.(check bool) "push counter counted" true
+    (List.exists (fun (k, v) -> String.equal k "streaming_dp.push" && v > 0) counters1)
+
+let suite =
+  [
+    case "obs: Noop probes are dead" noop_probes_are_dead;
+    case "obs: registration interns, readback reads" registration_and_readback;
+    case "obs: histogram bucket placement" histogram_buckets;
+    case "obs: invalid registrations rejected" invalid_registrations;
+    case "obs: span tree and Chrome export" span_tree_and_chrome_export;
+    case "obs: ring overwrite accounted" ring_overwrite_is_accounted;
+    case "obs: trace structure and counters are width-independent" trace_is_width_independent;
+  ]

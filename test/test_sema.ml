@@ -42,14 +42,15 @@ let compiled =
      List.iter (place "lib/core")
        [
          "s1_violation.ml"; "s1_hot_copy.ml"; "s2_violation.ml"; "s2_violation.mli";
-         "s3_dead.ml"; "s3_dead.mli"; "s4_violation.ml"; "clean.ml"; "suppressed.ml";
+         "s3_dead.ml"; "s3_dead.mli"; "s4_violation.ml"; "s5_hot_obs.ml"; "clean.ml";
+         "suppressed.ml";
        ];
      place "other" "s3_user.ml";
      command
        "cd %s && ocamlc -bin-annot -I lib/core -c lib/core/s2_violation.mli lib/core/s2_violation.ml \
         lib/core/s3_dead.mli lib/core/s3_dead.ml lib/core/s1_violation.ml \
-        lib/core/s1_hot_copy.ml lib/core/s4_violation.ml lib/core/clean.ml \
-        lib/core/suppressed.ml"
+        lib/core/s1_hot_copy.ml lib/core/s4_violation.ml lib/core/s5_hot_obs.ml \
+        lib/core/clean.ml lib/core/suppressed.ml"
        (Filename.quote root);
      command "cd %s && ocamlc -bin-annot -I lib/core -c other/s3_user.ml" (Filename.quote root);
      root)
@@ -71,7 +72,10 @@ let test_rules_fire () =
   check_one "S1 tuple in hot loop" "S1" "lib/core/s1_violation.ml" 6 findings;
   check_one "S1 body-level Array.copy" "S1" "lib/core/s1_hot_copy.ml" 6 findings;
   check_one "S2 undocumented raise" "S2" "lib/core/s2_violation.mli" 3 findings;
-  check_one "S4 bare float fold" "S4" "lib/core/s4_violation.ml" 6 findings
+  check_one "S4 bare float fold" "S4" "lib/core/s4_violation.ml" 6 findings;
+  (* only the hot-body construction fires: the startup-pattern and
+     non-sink Recording constructors in the same fixture stay clean *)
+  check_one "S5 Recording sink in hot body" "S5" "lib/core/s5_hot_obs.ml" 8 findings
 
 let test_s3_liveness () =
   let findings, _, _ = run () in
@@ -108,13 +112,13 @@ let test_lib_is_sema_clean () =
   if Sys.file_exists "../lib" then begin
     let findings, stats, _ = Sema_engine.run ~source_root:".." [ ".." ] in
     Alcotest.(check bool) "analyzed some units" true (stats.Sema_engine.units > 0);
-    Alcotest.(check (list string)) "lib/ is sema-clean (S1/S2/S4)" []
+    Alcotest.(check (list string)) "lib/ is sema-clean (S1/S2/S4/S5)" []
       (List.filter (fun f -> f.F.rule <> "S3") findings |> List.map F.to_human)
   end
 
 let suite =
   [
-    Alcotest.test_case "S1/S2/S4 fire on violation fixtures" `Quick test_rules_fire;
+    Alcotest.test_case "S1/S2/S4/S5 fire on violation fixtures" `Quick test_rules_fire;
     Alcotest.test_case "S3 liveness across libraries" `Quick test_s3_liveness;
     Alcotest.test_case "clean and suppressed fixtures" `Quick test_clean_and_suppressed;
     Alcotest.test_case "incremental cache hits on re-run" `Quick test_cache_hits;

@@ -17,6 +17,7 @@ let catalog =
     ("S2", "exception escape: undocumented exceptions escaping public lib/core / lib/baselines values");
     ("S3", "dead export: .mli value never referenced outside its own library");
     ("S4", "numeric stability: float cost accumulator folded with bare +. in a loop");
+    ("S5", "observability discipline: a Recording sink constructed inside a [@@hot] body");
   ]
 
 (* The per-unit result the engine caches (keyed by cmt+source digest):
@@ -193,6 +194,61 @@ let check_s1 ~path add structure =
     (fun item ->
       match item.str_desc with
       | Tstr_value (_, vbs) -> List.iter (fun vb -> if is_hot vb then scan_binding vb) vbs
+      | _ -> ())
+    structure.str_items
+
+(* ------------------------------------- S5: observability discipline *)
+
+(* A hot function must only ever *probe* the installed sink; building
+   an [Obs.Recording _] value inside a [@@hot] body means the caller
+   is deciding per-call whether to trace — that allocates a recorder
+   (or at least a sink block) on the request path and bypasses the
+   one-global-sink contract [set_sink] maintains.  Construct the sink
+   once at startup (bin/, bench/, tests) and let the hot code see it
+   through [Obs.probe].  Matched on the typed tree: any constructor
+   named [Recording] whose result type is a [sink]. *)
+
+let is_sink_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Path.last p = "sink"
+  | _ -> false
+
+let scan_s5_hot_body ~path ~fname add body =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.exp_desc with
+          | Texp_construct (_, cd, _)
+            when cd.Types.cstr_name = "Recording" && is_sink_type e.exp_type ->
+              add
+                (F.make ~path ~loc:e.exp_loc ~rule:"S5"
+                   (Printf.sprintf
+                      "`Recording` sink constructed in the body of hot `%s`: build the sink once \
+                       at startup and let the hot path observe it via `Obs.probe`"
+                      fname))
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body
+
+let check_s5 ~path add structure =
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              if is_hot vb then
+                let fname =
+                  match vb.vb_pat.pat_desc with
+                  | Tpat_var (id, _) -> Ident.name id
+                  | _ -> "<binding>"
+                in
+                scan_s5_hot_body ~path ~fname add vb.vb_expr)
+            vbs
       | _ -> ())
     structure.str_items
 
@@ -467,6 +523,7 @@ let check_implementation ~ml_path ~mli_vals structure =
   let findings = ref [] in
   let add f = findings := f :: !findings in
   check_s1 ~path:ml_path add structure;
+  check_s5 ~path:ml_path add structure;
   if s2_scope ml_path then begin
     let spans = try_spans structure in
     check_s2 ~spans ~mli_vals add structure
