@@ -6,7 +6,7 @@
 BUILD := _build/default
 SARIF := _build/sarif
 
-.PHONY: all build test lint sema sarif check bench bench-json bench-baseline perf-gate bench-sema trace clean
+.PHONY: all build test lint sema sarif check bench bench-json bench-baseline perf-gate bench-sema trace metrics-demo clean
 
 all: build
 
@@ -56,6 +56,26 @@ trace: build
 	dune exec bench/main.exe -- quick --trace _build/trace/quick.json
 	dune exec bench/obs_overhead.exe
 	@echo "trace written to _build/trace/quick.json (load in chrome://tracing or ui.perfetto.dev)"
+
+# end-to-end metrics loop: serve the simulated workload on an
+# ephemeral port, scrape /metrics once, then validate the exposition
+# with the golden 0.0.4 parser (see docs/OBSERVABILITY.md)
+metrics-demo: build
+	@set -e; \
+	rm -f _build/metrics-demo.log; \
+	$(BUILD)/bin/dcache.exe serve-metrics --metrics-port 0 --batches 0 \
+	  > _build/metrics-demo.log & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	port=""; \
+	for i in $$(seq 1 100); do \
+	  port=$$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*|\1|p' _build/metrics-demo.log); \
+	  [ -n "$$port" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$port" ] || { echo "metrics-demo: server never announced a port"; exit 1; }; \
+	curl -sf "http://127.0.0.1:$$port/metrics" > _build/metrics-demo.prom; \
+	kill $$pid 2>/dev/null || true; \
+	$(BUILD)/bin/dcache.exe check-metrics _build/metrics-demo.prom; \
+	echo "metrics-demo: OK (exposition saved to _build/metrics-demo.prom)"
 
 # cold vs. incremental wall-time of the sema pass
 bench-sema:

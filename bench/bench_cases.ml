@@ -71,16 +71,18 @@ let words_per_push () =
 
 module Obs = Dcache_obs.Obs
 
-(* The instrumented [Streaming_dp.push] pays exactly one [Obs.probe]
-   call under the Noop sink — every counter/gauge store sits inside
-   the branch.  The contract (asserted by bench/obs_overhead.exe and
-   gated by bench/perf_gate.exe): a disabled probe allocates 0 minor
-   words, and [probes_per_push * probe_ns] stays under 2% of a
-   measured push.  The probe cost is isolated differentially — the
-   same loop over a plain [bool ref] is subtracted — so loop
-   bookkeeping does not count against the budget. *)
+(* The instrumented [Streaming_dp.push] pays exactly two [Obs.probe]
+   calls under the Noop sink — one at entry (arming the duration
+   timestamp) and one in the exit block — and every counter/gauge/
+   histogram store sits inside the branches.  The contract (asserted
+   by bench/obs_overhead.exe and gated by bench/perf_gate.exe): a
+   disabled probe allocates 0 minor words, and
+   [probes_per_push * probe_ns] stays under 2% of a measured push.
+   The probe cost is isolated differentially — the same loop over a
+   plain [bool ref] is subtracted — so loop bookkeeping does not
+   count against the budget. *)
 
-let probes_per_push = 1
+let probes_per_push = 2
 let max_obs_overhead_frac = 0.02
 
 type obs_cost = {
@@ -180,6 +182,69 @@ let measure_obs_cost () =
     if push_ns > 0.0 then probe_ns *. float_of_int probes_per_push /. push_ns else 0.0
   in
   { probe_ns; probe_words; push_ns; overhead_frac }
+
+(* ---------------------------------------- recording-mode span budget *)
+
+(* Recording is not free — each [Obs.spanned] pays two clock reads,
+   two ring writes, and a duration-histogram record — but it has to
+   stay cheap enough to leave on in a long-running serving process
+   (docs/OBSERVABILITY.md).  The budgets are deliberately loose: the
+   monotonic clock's boxed-float reads dominate the words, and span_ns
+   is scheduler-noisy even as a min-of-3.  They exist to catch an
+   accidental per-span allocation (a closure, a list cell, a boxed
+   record) or an order-of-magnitude slowdown, not to pin
+   microarchitectural noise. *)
+let max_words_per_span = 16.0
+let max_ns_per_span = 2000.0
+
+type recording_cost = {
+  span_words : float;  (* minor words per recorded span *)
+  span_ns : float;  (* wall ns per recorded span, min over runs *)
+}
+
+let rec_span = Obs.span_name "bench.recording_cost"
+
+let measure_recording_cost () =
+  let clock = Dcache_obs.Clock.monotonic () in
+  let r = Obs.recorder ~clock () in
+  Obs.set_sink (Obs.Recording r);
+  let iters = 100_000 in
+  let work = ref 0 in
+  let body () = incr work in
+  let span_loop () =
+    for _ = 1 to iters do
+      Obs.spanned rec_span body
+    done
+  in
+  (* warm: faults the ring columns and the span histogram in *)
+  span_loop ();
+  (* allocation pass, with the [Gc.minor_words] result box calibrated
+     out exactly as in [measure_obs_cost] *)
+  let calib =
+    let b0 = Gc.minor_words () in
+    let b1 = Gc.minor_words () in
+    b1 -. b0
+  in
+  let w0 = Gc.minor_words () in
+  span_loop ();
+  span_loop ();
+  span_loop ();
+  let w1 = Gc.minor_words () in
+  let span_words = Float.max 0.0 ((w1 -. w0 -. calib) /. float_of_int (3 * iters)) in
+  let timed () =
+    let t0 = Dcache_obs.Clock.now clock in
+    span_loop ();
+    float_of_int (Dcache_obs.Clock.now clock - t0)
+  in
+  ignore (timed ());
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let v = timed () in
+    if v < !best then best := v
+  done;
+  Obs.set_sink Obs.Noop;
+  ignore !work;
+  { span_words; span_ns = !best /. float_of_int iters }
 
 (* ----------------------------------------------------- measurement *)
 

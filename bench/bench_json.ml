@@ -228,6 +228,17 @@ type entry = {
   minor_words_per_run : float;
 }
 
+(* span-duration quantile summary (ns), read back from the log-scale
+   Obs histograms at end of run *)
+type quantile_summary = {
+  q_count : int;
+  q_sum_ns : float;
+  q_p50 : float;
+  q_p90 : float;
+  q_p99 : float;
+  q_p999 : float;
+}
+
 type report = {
   schema : string;
   git_rev : string;
@@ -238,6 +249,9 @@ type report = {
   counters : (string * int) list;
       (* end-of-run Obs counter snapshot; [] (field omitted) when the
          run recorded nothing — PR 3 baselines parse unchanged *)
+  quantiles : (string * quantile_summary) list;
+      (* optional for the same reason: spans with at least one
+         recorded duration, [] when not recording or pre-PR 5 *)
 }
 
 let schema_id = "dcache-bench/1"
@@ -264,10 +278,30 @@ let report_to_value r =
                   ])
               r.entries) );
      ]
+    @ (match r.counters with
+      | [] -> []
+      | cs -> [ ("counters", Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) cs)) ])
     @
-    match r.counters with
+    match r.quantiles with
     | [] -> []
-    | cs -> [ ("counters", Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) cs)) ])
+    | qs ->
+        [
+          ( "quantiles",
+            Obj
+              (List.map
+                 (fun (k, q) ->
+                   ( k,
+                     Obj
+                       [
+                         ("count", Num (float_of_int q.q_count));
+                         ("sum_ns", Num q.q_sum_ns);
+                         ("p50", Num q.q_p50);
+                         ("p90", Num q.q_p90);
+                         ("p99", Num q.q_p99);
+                         ("p999", Num q.q_p999);
+                       ] ))
+                 qs) );
+        ])
 
 let report_to_string r = to_string (report_to_value r)
 
@@ -318,6 +352,30 @@ let report_of_string text =
                   fields
             | Some _ | None -> []
           in
+          let quantile_of_value qv =
+            match
+              ( to_float (member "count" qv),
+                to_float (member "sum_ns" qv),
+                to_float (member "p50" qv),
+                to_float (member "p90" qv),
+                to_float (member "p99" qv),
+                to_float (member "p999" qv) )
+            with
+            | Some c, Some q_sum_ns, Some q_p50, Some q_p90, Some q_p99, Some q_p999
+              when Float.is_finite c ->
+                Some { q_count = int_of_float c; q_sum_ns; q_p50; q_p90; q_p99; q_p999 }
+            | _ -> None
+          in
+          let quantiles =
+            (* optional since PR 5; defaulting reader keeps committed
+               baselines parsing *)
+            match member "quantiles" v with
+            | Some (Obj fields) ->
+                List.filter_map
+                  (fun (k, qv) -> Option.map (fun q -> (k, q)) (quantile_of_value qv))
+                  fields
+            | Some _ | None -> []
+          in
           (match entries [] items with
           | Ok entries ->
               Ok
@@ -329,6 +387,7 @@ let report_of_string text =
                   words_per_push;
                   entries;
                   counters;
+                  quantiles;
                 }
           | Error e -> Error e)
       | _ -> Error "report: missing or mistyped top-level field")

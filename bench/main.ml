@@ -219,6 +219,24 @@ let write_json ~quick path =
       (* all-zero without a recording sink: drop the noise and keep
          the report byte-identical to pre-obs runs *)
       counters = List.filter (fun (_, v) -> v <> 0) (Dcache_obs.Obs.counter_totals ());
+      quantiles =
+        List.filter_map
+          (fun (name, h) ->
+            let module H = Dcache_obs.Histo_log in
+            if H.count h = 0 then None
+            else
+              let q = H.quantiles h [| 0.5; 0.9; 0.99; 0.999 |] in
+              Some
+                ( name,
+                  {
+                    Bench_json.q_count = H.count h;
+                    q_sum_ns = float_of_int (H.sum h);
+                    q_p50 = q.(0);
+                    q_p90 = q.(1);
+                    q_p99 = q.(2);
+                    q_p999 = q.(3);
+                  } ))
+          (Dcache_obs.Obs.span_durations ());
     }
   in
   Out_channel.with_open_text path (fun oc ->
@@ -240,6 +258,13 @@ let () =
   (match trace_path args with
   | Some path -> Dcache_obs.Obs.enable_file_trace path
   | None -> ());
+  (* GC-aware tracing: when a wall-clock recording sink is active
+     (--trace / DCACHE_TRACE), bridge Runtime_events GC phases into
+     the trace; install *after* enable_file_trace so the LIFO at_exit
+     chain polls the bridge before the trace file is written.  Never
+     active in deterministic modes — those use tick clocks and no env
+     trace. *)
+  ignore (Dcache_obs.Runtime_bridge.install ());
   let rec json_path = function
     | "json" :: path :: _ -> Some path
     | [ "json" ] ->

@@ -1,16 +1,19 @@
-(* Micro-benchmark of the observability no-op contract.
+(* Micro-benchmark of the observability contracts.
 
    Usage: obs_overhead
 
    With the default Noop sink an instrumented [Streaming_dp.push]
-   pays exactly one [Obs.probe] call.  This asserts the two budgets
+   pays exactly two [Obs.probe] calls.  This asserts the budgets
    docs/OBSERVABILITY.md promises (and perf_gate.exe also gates):
 
-   - a disabled probe allocates 0 minor words, and
+   - a disabled probe allocates 0 minor words,
    - the probe cost stays under 2% of a push
-     (Bench_cases.max_obs_overhead_frac).
+     (Bench_cases.max_obs_overhead_frac), and
+   - a *recorded* span stays within the recording-mode budget
+     (Bench_cases.max_words_per_span minor words and
+     Bench_cases.max_ns_per_span wall ns per [Obs.spanned]).
 
-   Exits 1 when either budget is blown. *)
+   Exits 1 when any budget is blown. *)
 
 open Dcache_bench_common
 module Obs = Dcache_obs.Obs
@@ -35,7 +38,23 @@ let () =
       (100.0 *. Bench_cases.max_obs_overhead_frac);
     exit 1
   end;
+  (* recording-mode budget: a live span must not allocate beyond its
+     clock reads nor take microseconds *)
+  let rc = Bench_cases.measure_recording_cost () in
+  Printf.printf "recorded span:   %8.1f ns, %.3f minor words (budgets %.0f ns, %.1f words)\n"
+    rc.Bench_cases.span_ns rc.Bench_cases.span_words Bench_cases.max_ns_per_span
+    Bench_cases.max_words_per_span;
+  if rc.Bench_cases.span_words > Bench_cases.max_words_per_span then begin
+    Printf.eprintf "obs-overhead: a recorded span allocates %.3f minor words (budget %.1f)\n"
+      rc.Bench_cases.span_words Bench_cases.max_words_per_span;
+    exit 1
+  end;
+  if rc.Bench_cases.span_ns > Bench_cases.max_ns_per_span then begin
+    Printf.eprintf "obs-overhead: a recorded span costs %.1f ns (budget %.0f)\n"
+      rc.Bench_cases.span_ns Bench_cases.max_ns_per_span;
+    exit 1
+  end;
   (* sanity: the counters the probes feed really are dead while
      disabled *)
   Obs.reset ();
-  print_endline "OK: Noop sink is free on the hot path"
+  print_endline "OK: Noop sink is free on the hot path, recording within budget"

@@ -126,5 +126,18 @@ let () =
     fail_perf "no-op Obs probes cost %.3f%% of a push (budget %.1f%%)"
       (100.0 *. oc.Bench_cases.overhead_frac)
       (100.0 *. Bench_cases.max_obs_overhead_frac);
-  Printf.printf "OK: streaming push within %.0f%% of baseline, Noop probes within budget\n"
+  (* third budget: recording mode must stay cheap enough to leave on
+     in a serving process *)
+  let rc = Bench_cases.measure_recording_cost () in
+  Printf.printf "obs recording: %12.1f ns/span (%.3f words, budgets %.0f ns / %.1f words)\n%!"
+    rc.Bench_cases.span_ns rc.Bench_cases.span_words Bench_cases.max_ns_per_span
+    Bench_cases.max_words_per_span;
+  if rc.Bench_cases.span_words > Bench_cases.max_words_per_span then
+    fail_perf "a recorded span allocates %.3f minor words (budget %.1f)"
+      rc.Bench_cases.span_words Bench_cases.max_words_per_span;
+  if rc.Bench_cases.span_ns > Bench_cases.max_ns_per_span then
+    fail_perf "a recorded span costs %.1f ns (budget %.0f)" rc.Bench_cases.span_ns
+      Bench_cases.max_ns_per_span;
+  Printf.printf
+    "OK: streaming push within %.0f%% of baseline, Noop probes and recorded spans within budget\n"
     ((regression_factor -. 1.0) *. 100.0)

@@ -359,6 +359,151 @@ let stream_cmd =
     (Cmd.info "stream" ~doc:"Feed a trace through the incremental solver, printing prefix optima")
     Term.(const run $ obs_term $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ every)
 
+(* ---------------------------------------------------------- serve-metrics *)
+
+(* Long-run serving driver: batches of synthetic workload through the
+   streaming DP and the online SC policy, forever by default, with a
+   Prometheus /metrics endpoint polled between batches and a flight
+   recorder snapshotting the registry on a wall-clock interval.  This
+   is the wall-clock mode — the Runtime_events GC bridge is installed
+   here (and only here / under --trace paths), never in the
+   deterministic tick-clock modes. *)
+
+let serve_metrics_cmd =
+  let port_arg =
+    Arg.(
+      value
+      & opt int 9090
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:"Port for the /metrics endpoint (0 picks an ephemeral port, printed at startup).")
+  in
+  let batches_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "batches" ] ~docv:"K" ~doc:"Simulation batches to run; 0 runs until killed.")
+  in
+  let batch_size_arg =
+    Arg.(value & opt int 2000 & info [ "batch-size" ] ~docv:"N" ~doc:"Requests per batch.")
+  in
+  let snapshot_ms_arg =
+    Arg.(
+      value
+      & opt int 250
+      & info [ "snapshot-ms" ] ~docv:"MS" ~doc:"Flight-recorder snapshot interval.")
+  in
+  let timeline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"FILE"
+          ~doc:
+            "Write the dcache-timeline/1 flight-recorder timeline to $(docv) (CSV when it ends \
+             in .csv, JSON otherwise); rewritten every 50 batches and at exit.")
+  in
+  let run () port batches batch_size m mu lambda seed snapshot_ms timeline =
+    let module Obs = Dcache_obs.Obs in
+    let module Prom = Dcache_obs.Prometheus in
+    let module Recorder = Dcache_obs.Recorder in
+    let module Bridge = Dcache_obs.Runtime_bridge in
+    if batches < 0 then or_die (Error "--batches must be >= 0");
+    if batch_size < 2 then or_die (Error "--batch-size must be at least 2");
+    if snapshot_ms < 1 then or_die (Error "--snapshot-ms must be positive");
+    let model = or_die (model_of mu lambda) in
+    (* --trace-json may already have installed a recording sink (and
+       will dump the Chrome trace at exit); otherwise record without
+       a trace file so quantiles accumulate either way *)
+    (match Obs.sink () with
+    | Obs.Recording _ -> ()
+    | Obs.Noop -> Obs.set_sink (Obs.Recording (Obs.recorder ())));
+    let bridge = Bridge.install () in
+    let server =
+      match Prom.listen ~port () with
+      | s -> s
+      | exception Unix.Unix_error (e, _, _) ->
+          or_die (Error (Printf.sprintf "cannot listen on port %d: %s" port (Unix.error_message e)))
+    in
+    Printf.printf "dcache: serving http://127.0.0.1:%d/metrics\n%!" (Prom.port server);
+    let flight =
+      Recorder.create
+        ~clock:(Dcache_obs.Clock.monotonic ())
+        ~interval_ns:(snapshot_ms * 1_000_000) ()
+    in
+    let write_timeline () =
+      match timeline with
+      | None -> ()
+      | Some path ->
+          if Filename.check_suffix path ".csv" then Recorder.write_csv flight ~path
+          else Recorder.write_json flight ~path
+    in
+    let batch i =
+      let seq =
+        Dcache_workload.Generator.generate_seeded ~seed:(seed + i)
+          {
+            Dcache_workload.Generator.m;
+            n = batch_size;
+            arrival = Dcache_workload.Arrival.Poisson { rate = 1.0 };
+            placement = Dcache_workload.Placement.Uniform_random;
+          }
+      in
+      let stream = Streaming_dp.create model ~m in
+      for j = 1 to Sequence.n seq do
+        Streaming_dp.push stream ~server:(Sequence.server seq j) ~time:(Sequence.time seq j)
+      done;
+      ignore (Streaming_dp.cost stream);
+      ignore (Online_sc.run model seq)
+    in
+    let rec loop i =
+      if batches = 0 || i < batches then begin
+        batch i;
+        Recorder.tick flight;
+        ignore (Prom.poll server);
+        (match bridge with Some t -> ignore (Bridge.poll t) | None -> ());
+        if i mod 50 = 49 then write_timeline ();
+        loop (i + 1)
+      end
+      else i
+    in
+    let ran = loop 0 in
+    Recorder.force flight;
+    ignore (Prom.poll server);
+    write_timeline ();
+    Prom.close server;
+    (match bridge with Some t -> Bridge.stop t | None -> ());
+    Printf.printf "dcache: ran %d batches, kept %d timeline snapshots (%d dropped)\n" ran
+      (Recorder.snapshots flight) (Recorder.dropped flight)
+  in
+  Cmd.v
+    (Cmd.info "serve-metrics"
+       ~doc:"Run a long-horizon serving simulation with a Prometheus /metrics endpoint")
+    Term.(
+      const run $ obs_term $ port_arg $ batches_arg $ batch_size_arg $ m_arg $ mu_arg
+      $ lambda_arg $ seed_arg $ snapshot_ms_arg $ timeline_arg)
+
+(* ----------------------------------------------------------- check-metrics *)
+
+let check_metrics_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A saved /metrics response to validate.")
+  in
+  let run file =
+    let text =
+      match In_channel.with_open_text file In_channel.input_all with
+      | s -> s
+      | exception Sys_error msg -> or_die (Error msg)
+    in
+    match Dcache_obs.Prometheus.validate text with
+    | Ok samples -> Printf.printf "dcache: valid Prometheus 0.0.4 exposition, %d samples\n" samples
+    | Error msg -> or_die (Error ("invalid exposition: " ^ msg))
+  in
+  Cmd.v
+    (Cmd.info "check-metrics"
+       ~doc:"Validate a saved /metrics response against the text-format 0.0.4 grammar")
+    Term.(const run $ file_arg)
+
 (* ----------------------------------------------------------- experiments *)
 
 let experiments_cmd =
@@ -385,5 +530,7 @@ let () =
             analyze_cmd;
             render_cmd;
             stream_cmd;
+            serve_metrics_cmd;
+            check_metrics_cmd;
             experiments_cmd;
           ]))

@@ -1,6 +1,6 @@
 (* Standalone regeneration of the experiment tables (E1-E15).
 
-   Usage: experiments [quick] [--domains N] [--trace FILE] [NAME...]
+   Usage: experiments [quick] [--domains N] [--trace FILE] [--timings] [NAME...]
 
    With no NAME every report is printed in order; otherwise only the
    named ones.  Pass "quick" for the reduced sweeps used in CI.
@@ -10,7 +10,8 @@
    count.  Output is byte-identical at any domain count (see
    docs/PERFORMANCE.md).  `--trace FILE` (or DCACHE_TRACE=FILE)
    writes a Chrome trace_event profile of the run to FILE at exit
-   (docs/OBSERVABILITY.md). *)
+   (docs/OBSERVABILITY.md).  `--timings` appends a wall-clock summary
+   of per-report runtimes (p50/p90/max via Stats.percentiles). *)
 
 module E = Dcache_experiments.Experiments
 
@@ -35,13 +36,26 @@ let reports =
 
 let usage () =
   Printf.eprintf
-    "usage: experiments [quick] [--domains N] [--trace FILE] [NAME...]\n\
+    "usage: experiments [quick] [--domains N] [--trace FILE] [--timings] [NAME...]\n\
     \       (known reports: %s)\n"
     (String.concat ", " (List.map fst reports));
   exit 2
 
+(* wall-clock summary of the per-report runtimes collected under
+   --timings; one Stats.percentiles call serves all three probes *)
+let print_timings = function
+  | [] -> ()
+  | collected ->
+      let collected = List.rev collected in
+      Printf.printf "\n== report timings (wall clock) ==\n";
+      List.iter (fun (name, ms) -> Printf.printf "  %-14s %10.1f ms\n" name ms) collected;
+      let arr = Array.of_list (List.map snd collected) in
+      let q = Dcache_prelude.Stats.percentiles arr [| 50.0; 90.0; 100.0 |] in
+      Printf.printf "  %-14s p50 %.1f ms  p90 %.1f ms  max %.1f ms\n" "summary" q.(0) q.(1) q.(2)
+
 let () =
   Dcache_obs.Obs.install_from_env ();
+  let timings = ref false in
   let args = List.tl (Array.to_list Sys.argv) in
   let rec strip_options acc = function
     | "--domains" :: v :: rest -> (
@@ -61,20 +75,43 @@ let () =
     | [ "--trace" ] ->
         Printf.eprintf "experiments: --trace needs a file name\n";
         usage ()
+    | "--timings" :: rest ->
+        timings := true;
+        strip_options acc rest
     | a :: rest -> strip_options (a :: acc) rest
     | [] -> List.rev acc
   in
   let args = strip_options [] args in
+  (* GC-aware tracing: when a wall-clock recording sink is active
+     (--trace / DCACHE_TRACE), bridge Runtime_events GC phases into
+     the trace; installed after any enable_file_trace so the LIFO
+     at_exit chain polls the bridge before the trace dump.  Inert in
+     deterministic runs — no recording sink, no bridge. *)
+  ignore (Dcache_obs.Runtime_bridge.install ());
   let quick = List.exists (String.equal "quick") args in
-  match List.filter (fun a -> a <> "quick") args with
-  | [] -> E.run_all ~quick ()
+  let collected = ref [] in
+  let run_report name f =
+    if !timings then begin
+      let t0 = Unix.gettimeofday () in
+      f ~quick;
+      collected := (name, (Unix.gettimeofday () -. t0) *. 1e3) :: !collected
+    end
+    else f ~quick
+  in
+  (match List.filter (fun a -> a <> "quick") args with
+  | [] ->
+      (* under --timings run the same reports run_all covers, but one
+         at a time so each gets its own wall-clock sample *)
+      if !timings then List.iter (fun (name, f) -> run_report name f) reports
+      else E.run_all ~quick ()
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name reports with
-          | Some f -> f ~quick
+          | Some f -> run_report name f
           | None ->
               Printf.eprintf "experiments: unknown report %S (known: %s)\n" name
                 (String.concat ", " (List.map fst reports));
               exit 2)
-        names
+        names);
+  print_timings !collected

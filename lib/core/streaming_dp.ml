@@ -24,6 +24,7 @@ let c_pivot_slots = Obs.counter "streaming_dp.pivot_slots"
 let g_arena_cap = Obs.gauge "streaming_dp.arena_cap"
 let sp_grow = Obs.span_name "streaming_dp.grow"
 let sp_schedule = Obs.span_name "streaming_dp.schedule"
+let sp_push = Obs.span_name "streaming_dp.push"
 
 type c_choice = C_base | C_step | C_cache
 
@@ -176,6 +177,10 @@ let grow t =
   Obs.set_gauge g_arena_cap (float_of_int (ncap * t.m))
 
 let push t ~server ~time =
+  (* hand-rolled span timing: [Obs.spanned] would allocate a closure,
+     and this path's Noop budget is exactly 0 words.  Two probe loads
+     per push (entry and exit) — bench_cases.probes_per_push. *)
+  let t0 = if Obs.probe () then Obs.now_ns () else min_int in
   if server < 0 || server >= t.m then invalid_arg "Streaming_dp.push: server out of range";
   if not (Float.is_finite time) then invalid_arg "Streaming_dp.push: non-finite time";
   if time <= t.time.(t.len - 1) then
@@ -240,7 +245,8 @@ let push t ~server ~time =
      (the pivot scan visits exactly m-1 columns whenever q >= 0) *)
   if Obs.probe () then begin
     Obs.incr c_push;
-    Obs.add c_pivot_slots (if q >= 0 then t.m - 1 else 0)
+    Obs.add c_pivot_slots (if q >= 0 then t.m - 1 else 0);
+    if t0 <> min_int then Obs.observe_span_ns sp_push (Obs.now_ns () - t0)
   end
 [@@hot]
 

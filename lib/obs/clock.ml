@@ -22,12 +22,19 @@ let monotonic () =
     let dt = Unix.gettimeofday () -. t0 in
     int_of_float (dt *. 1e9)
 
-(* Virtual tick clock: every read returns the next integer.  Under
-   this clock the full trace — timestamps included — is a pure
-   function of the recorded event sequence.  The counter is atomic so
-   reads from pool helper domains cannot tear, though cross-domain
-   tick *order* still depends on scheduling; the determinism tests
-   therefore compare trace structure, not tick values. *)
+(* Virtual tick clock: every read returns the next integer, counted
+   *per domain*.  Within one domain the timestamp stream is a pure
+   function of that domain's record sequence, so a span's tick
+   duration (end read minus begin read) counts exactly the clock
+   reads its own body performed — concurrent reads from other pool
+   domains do not leak in.  That is what makes span-duration
+   histograms, and every quantile read back from them, byte-identical
+   at any pool width (test_obs's timeline test).  Cross-domain tick
+   values still depend on chunk placement, so the trace-structure
+   tests keep comparing structure, not timestamps. *)
 let ticks () =
-  let c = Atomic.make 0 in
-  fun () -> Atomic.fetch_and_add c 1
+  let key = Domain.DLS.new_key (fun () -> ref (-1)) in
+  fun () ->
+    let c = Domain.DLS.get key in
+    incr c;
+    !c

@@ -23,6 +23,9 @@ val monotonic : unit -> t
     deterministic (install it only in recording sinks). *)
 
 val ticks : unit -> t
-(** Virtual clock: each read returns 0, 1, 2, …  Timestamps become a
-    deterministic function of record order; used by the
-    reproducibility tests. *)
+(** Virtual clock: each read returns 0, 1, 2, … counted per domain,
+    so a span's tick duration measures exactly the clock reads of its
+    own body — independent of what other pool domains do
+    concurrently.  Timestamps become a deterministic function of each
+    domain's record order; used by the reproducibility tests and the
+    timeline width-independence test. *)

@@ -60,7 +60,25 @@ let g_cells : float array ref = ref [||]
 
 let s_names = ref [||]
 
-type hist = { h_name : string; h_edges : float array; h_counts : int Atomic.t array }
+(* One log-scale duration histogram per span, created at
+   registration: [spanned] records end-minus-begin into it, so
+   quantile telemetry rides the spans that already exist.  Bucket
+   bumps are commutative atomic int adds — no positional merge is
+   needed for histograms, totals are width-independent by
+   construction (the per-domain tick clock keeps the *durations*
+   width-independent too; see Clock.ticks). *)
+let s_histos : Histo_log.t array ref = ref [||]
+
+type hist = {
+  h_name : string;
+  h_edges : float array;
+  h_counts : int Atomic.t array;
+  (* float sum for Prometheus [_sum]: accumulation order is
+     scheduling-dependent rounding, so this is monitoring-only and
+     deliberately outside the determinism contract (the exact int
+     sums live in Histo_log) *)
+  h_sum : float Atomic.t;
+}
 
 let h_cells : hist array ref = ref [||]
 
@@ -90,6 +108,7 @@ let span_name name =
       | Some id -> id
       | None ->
           append s_names name;
+          append s_histos (Histo_log.create ());
           Array.length !s_names - 1)
 
 let histogram name ~buckets =
@@ -109,6 +128,7 @@ let histogram name ~buckets =
               h_name = name;
               h_edges = Array.copy buckets;
               h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+              h_sum = Atomic.make 0.0;
             };
           Array.length !h_cells - 1)
 
@@ -132,6 +152,7 @@ type buf = {
   e_tag : int array;
   e_name : int array;
   e_ts : int array;
+  e_track : int array;  (* per-event: tasks keep their lane through the merge, GC bridge injects high lanes *)
   e_value : float array;
   mutable b_start : int;
   mutable b_len : int;
@@ -146,13 +167,14 @@ let make_buf ~clock ~track cap =
     e_tag = Array.make cap 0;
     e_name = Array.make cap 0;
     e_ts = Array.make cap 0;
+    e_track = Array.make cap track;
     e_value = Array.make cap 0.0;
     b_start = 0;
     b_len = 0;
     b_lost = 0;
   }
 
-let put b tag name ts value =
+let put_track b ~track tag name ts value =
   let slot =
     if b.b_len < b.b_cap then begin
       let s = (b.b_start + b.b_len) mod b.b_cap in
@@ -169,7 +191,10 @@ let put b tag name ts value =
   b.e_tag.(slot) <- tag;
   b.e_name.(slot) <- name;
   b.e_ts.(slot) <- ts;
+  b.e_track.(slot) <- track;
   b.e_value.(slot) <- value
+
+let put b tag name ts value = put_track b ~track:b.b_track tag name ts value
 
 let record_into b tag name value = put b tag name (b.b_clock ()) value
 
@@ -177,7 +202,7 @@ let record_into b tag name value = put b tag name (b.b_clock ()) value
 let iter_buf b f =
   for k = 0 to b.b_len - 1 do
     let i = (b.b_start + k) mod b.b_cap in
-    f b.e_tag.(i) b.e_name.(i) b.e_ts.(i) b.e_value.(i) b.b_track
+    f b.e_tag.(i) b.e_name.(i) b.e_ts.(i) b.e_value.(i) b.e_track.(i)
   done
 
 (* -------------------------------------------------------------- recorder *)
@@ -236,34 +261,74 @@ let set_gauge g v =
     record tag_sample g v
   end
 
+(* CAS loop, not [:=]: callable from any domain.  Rounding depends on
+   accumulation order, hence monitoring-only (see [hist]). *)
+let rec atomic_add_float cell v =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (cur +. v)) then atomic_add_float cell v
+
 let observe h v =
   if state.recording then begin
     let hist = !h_cells.(h) in
     let edges = hist.h_edges in
     let n = Array.length edges in
     let rec bucket i = if i >= n || v <= edges.(i) then i else bucket (i + 1) in
-    Atomic.incr hist.h_counts.(bucket 0)
+    Atomic.incr hist.h_counts.(bucket 0);
+    atomic_add_float hist.h_sum v
   end
 
 let enter sp = if state.recording then record tag_begin sp 0.0
 
 let leave sp = if state.recording then record tag_end sp 0.0
 
+(* Clock of the buffer this domain records into, falling back to the
+   recorder's own clock off-buffer.  0 under Noop so callers can time
+   unconditionally after one [probe] check. *)
+let now_ns () =
+  match Domain.DLS.get current_buf with
+  | Some b -> b.b_clock ()
+  | None -> ( match state.current with Some r -> Clock.now r.r_clock | None -> 0)
+
+let observe_span_ns sp ns = if state.recording then Histo_log.record !s_histos.(sp) ns
+
 let spanned sp f =
   if not state.recording then f ()
-  else begin
-    record tag_begin sp 0.0;
-    match f () with
-    | v ->
-        record tag_end sp 0.0;
-        v
-    | exception e ->
-        let bt = Printexc.get_raw_backtrace () in
-        record tag_end sp 0.0;
-        Printexc.raise_with_backtrace e bt
-  end
+  else
+    match Domain.DLS.get current_buf with
+    | None ->
+        (match state.current with Some r -> Atomic.incr r.r_stray | None -> ());
+        f ()
+    | Some b -> (
+        (* exactly two clock reads per span — the begin/end events
+           reuse them, and the delta feeds the span's histogram.
+           Under the per-domain tick clock that delta counts the
+           body's own clock reads, so histogram contents are
+           width-independent. *)
+        let t0 = b.b_clock () in
+        put b tag_begin sp t0 0.0;
+        match f () with
+        | v ->
+            let t1 = b.b_clock () in
+            put b tag_end sp t1 0.0;
+            Histo_log.record !s_histos.(sp) (t1 - t0);
+            v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            let t1 = b.b_clock () in
+            put b tag_end sp t1 0.0;
+            Histo_log.record !s_histos.(sp) (t1 - t0);
+            Printexc.raise_with_backtrace e bt)
 
 let span name f = if not state.recording then f () else spanned (span_name name) f
+
+(* Append an event with a caller-supplied timestamp and track into
+   the main ring — the Runtime_events bridge lands GC phase spans
+   here, on high track ids, already translated into the recorder's
+   timebase. *)
+let inject_event sp ~track ~is_begin ~ts =
+  match state.current with
+  | None -> ()
+  | Some r -> put_track r.r_main ~track (if is_begin then tag_begin else tag_end) sp ts 0.0
 
 (* -------------------------------------------------------------- readback *)
 
@@ -277,15 +342,36 @@ let histogram_counts h =
 
 let histogram_edges h = Array.copy !h_cells.(h).h_edges
 
-let counter_totals () =
-  let names = !c_names and cells = !c_cells in
-  let pairs = List.init (Array.length names) (fun i -> (names.(i), Atomic.get cells.(i))) in
+let histogram_sum h = Atomic.get !h_cells.(h).h_sum
+
+let sorted_pairs names value =
+  let pairs = List.init (Array.length names) (fun i -> (names.(i), value i)) in
   List.sort (fun (a, _) (b, _) -> String.compare a b) pairs
+
+let counter_totals () = sorted_pairs !c_names (fun i -> Atomic.get !c_cells.(i))
+
+let gauge_values () = sorted_pairs !g_names (fun i -> !g_cells.(i))
+
+let span_histo sp = !s_histos.(sp)
+
+let span_durations () = sorted_pairs !s_names (fun i -> !s_histos.(i))
+
+let histogram_dump () =
+  sorted_pairs
+    (Array.map (fun h -> h.h_name) !h_cells)
+    (fun i ->
+      let h = !h_cells.(i) in
+      (Array.copy h.h_edges, Array.map Atomic.get h.h_counts, Atomic.get h.h_sum))
 
 let reset () =
   Array.iter (fun c -> Atomic.set c 0) !c_cells;
   g_cells := Array.map (fun _ -> 0.0) !g_cells;
-  Array.iter (fun h -> Array.iter (fun c -> Atomic.set c 0) h.h_counts) !h_cells;
+  Array.iter Histo_log.reset !s_histos;
+  Array.iter
+    (fun h ->
+      Array.iter (fun c -> Atomic.set c 0) h.h_counts;
+      Atomic.set h.h_sum 0.0)
+    !h_cells;
   match state.current with
   | None -> ()
   | Some r ->
@@ -340,7 +426,9 @@ module Parallel = struct
     put b tag_sample j.j_wait_gauge started (float_of_int (started - j.j_post_ns));
     put b tag_begin j.j_task_span started 0.0;
     let restore () =
-      record_into b tag_end j.j_task_span 0.0;
+      let ended = Clock.now b.b_clock in
+      put b tag_end j.j_task_span ended 0.0;
+      Histo_log.record !s_histos.(j.j_task_span) (ended - started);
       Domain.DLS.set current_buf saved
     in
     match f () with
@@ -359,7 +447,7 @@ module Parallel = struct
     let main = j.j_rec.r_main in
     Array.iter
       (fun b ->
-        iter_buf b (fun tag name ts value _track -> put main tag name ts value);
+        iter_buf b (fun tag name ts value track -> put_track main ~track tag name ts value);
         main.b_lost <- main.b_lost + b.b_lost)
       j.j_bufs;
     record tag_end j.j_span 0.0

@@ -36,7 +36,10 @@ type histogram
 
 type span
 (** Interned span name, for allocation-free {!enter}/{!leave} and
-    {!spanned} at hot call sites. *)
+    {!spanned} at hot call sites.  Every span owns a log-scale
+    duration histogram ({!Histo_log}) fed by {!spanned},
+    {!Parallel.task} and {!observe_span_ns} — quantile telemetry
+    rides the spans that already exist. *)
 
 val counter : string -> counter
 val gauge : string -> gauge
@@ -94,7 +97,22 @@ val leave : span -> unit
 
 val spanned : span -> (unit -> 'a) -> 'a
 (** [spanned sp f] runs [f] inside span [sp]: exception-safe, and
-    calls [f] directly (no event, no allocation) when disabled. *)
+    calls [f] directly (no event, no allocation) when disabled.
+    While recording, exactly two clock reads bracket [f] — they stamp
+    the begin/end events and their delta lands in the span's duration
+    histogram, so under the per-domain tick clock histogram contents
+    are width-independent. *)
+
+val now_ns : unit -> int
+(** The current domain's recording clock (the task buffer's inside a
+    {!Parallel} job, the recorder's otherwise); [0] under {!Noop}.
+    For hand-rolled span timing on paths where {!spanned}'s closure
+    is too expensive — pair with {!observe_span_ns}. *)
+
+val observe_span_ns : span -> int -> unit
+(** Record a measured duration (ns, or ticks under test) straight
+    into the span's histogram, without emitting trace events.  No-op
+    under {!Noop}. *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] is [spanned (span_name name) f] — interns on every
@@ -107,15 +125,43 @@ val gauge_value : gauge -> float
 val histogram_edges : histogram -> float array
 val histogram_counts : histogram -> int array
 
+val histogram_sum : histogram -> float
+(** Sum of observed values (for Prometheus [_sum]).  Float
+    accumulation order is scheduling-dependent, so this is
+    monitoring-only — outside the determinism contract (span
+    histograms carry exact int sums instead). *)
+
 val counter_totals : unit -> (string * int) list
 (** All registered counters with their current values, sorted by
     name.  Deterministic at any domain count: totals are sums of
     atomic increments. *)
 
+val gauge_values : unit -> (string * float) list
+(** All registered gauges with their last-written values, sorted by
+    name. *)
+
+val span_histo : span -> Histo_log.t
+(** The span's duration histogram (live handle, not a snapshot). *)
+
+val span_durations : unit -> (string * Histo_log.t) list
+(** Every registered span with its duration histogram, sorted by
+    name.  Bucket counts, counts and int sums are commutative atomic
+    adds: identical at any domain count. *)
+
+val histogram_dump : unit -> (string * (float array * int array * float)) list
+(** Every fixed-bucket histogram as [(name, (edges, counts, sum))],
+    sorted by name — the Prometheus/flight-recorder export surface. *)
+
 val reset : unit -> unit
-(** Zero every counter, gauge and histogram and clear the recording
-    ring (if any).  For tests and back-to-back runs sharing a
-    process. *)
+(** Zero every counter, gauge, histogram and span-duration histogram
+    and clear the recording ring (if any).  For tests and
+    back-to-back runs sharing a process. *)
+
+val inject_event : span -> track:int -> is_begin:bool -> ts:int -> unit
+(** Append a begin/end event with a caller-supplied timestamp
+    (already in the recorder's timebase) and explicit track id to the
+    main ring.  The {!Runtime_bridge} lands GC phase spans here on
+    high track ids; no-op without a recording sink. *)
 
 val events_lost : recorder -> int
 (** Events dropped by ring overwrite plus events recorded on domains

@@ -1,0 +1,272 @@
+(* Flight recorder over the Obs registry.  All allocation happens in
+   [create]: the registry shape (sorted names) is captured once and
+   every snapshot column is a preallocated flat array, so a snapshot
+   is a merge-walk of the sorted readbacks into array stores.  Metrics
+   registered *after* [create] are simply not captured — the column
+   set is part of the recorder's identity, which is what makes two
+   timelines comparable row by row.
+
+   Determinism: snapshots happen on the driver's domain, values come
+   from commutative atomic readbacks, and timestamps from the
+   injected clock — under Clock.ticks the whole export is a pure
+   function of the driver's call sequence (the width-independence
+   test in test/test_obs.ml compares JSON bytes at widths 1 and 4). *)
+
+let default_capacity = 1024
+
+type t = {
+  clock : Clock.t;
+  interval : int;
+  cap : int;
+  cn : string array;  (* captured counter names, sorted *)
+  gn : string array;
+  hn : string array;
+  sn : string array;
+  ts : int array;
+  c_vals : int array;      (* cap * |cn| *)
+  g_vals : float array;    (* cap * |gn| *)
+  h_counts : int array;    (* cap * |hn| *)
+  h_sums : float array;    (* cap * |hn| *)
+  s_counts : int array;    (* cap * |sn| *)
+  s_sums : int array;      (* cap * |sn| — exact int sums from Histo_log *)
+  s_quants : float array;  (* cap * |sn| * |quantile_probes| *)
+  mutable start : int;
+  mutable len : int;
+  mutable lost : int;
+  mutable next_due : int;
+}
+
+let nq = Array.length Prometheus.quantile_probes
+
+let create ?(capacity = default_capacity) ~clock ~interval_ns () =
+  if capacity < 2 then invalid_arg "Recorder.create: capacity must be at least 2";
+  if interval_ns <= 0 then invalid_arg "Recorder.create: interval must be positive";
+  let names_of pairs = Array.of_list (List.map fst pairs) in
+  let cn = names_of (Obs.counter_totals ()) in
+  let gn = names_of (Obs.gauge_values ()) in
+  let hn = names_of (Obs.histogram_dump ()) in
+  let sn = names_of (Obs.span_durations ()) in
+  {
+    clock;
+    interval = interval_ns;
+    cap = capacity;
+    cn;
+    gn;
+    hn;
+    sn;
+    ts = Array.make capacity 0;
+    c_vals = Array.make (capacity * Array.length cn) 0;
+    g_vals = Array.make (capacity * Array.length gn) 0.0;
+    h_counts = Array.make (capacity * Array.length hn) 0;
+    h_sums = Array.make (capacity * Array.length hn) 0.0;
+    s_counts = Array.make (capacity * Array.length sn) 0;
+    s_sums = Array.make (capacity * Array.length sn) 0;
+    s_quants = Array.make (capacity * Array.length sn * nq) 0.0;
+    start = 0;
+    len = 0;
+    lost = 0;
+    next_due = min_int;
+  }
+
+(* both [names] and [pairs] are sorted ascending: one linear walk
+   matches captured columns against the current readback *)
+let merge_walk names pairs f =
+  let n = Array.length names in
+  let rec go i remaining =
+    if i < n then
+      match remaining with
+      | [] -> ()
+      | (nm, v) :: rest ->
+          let c = String.compare nm names.(i) in
+          if c = 0 then begin
+            f i v;
+            go (i + 1) rest
+          end
+          else if c < 0 then go i rest
+          else go (i + 1) remaining
+  in
+  go 0 pairs
+
+let snapshot_at t now =
+  let slot =
+    if t.len < t.cap then begin
+      let s = (t.start + t.len) mod t.cap in
+      t.len <- t.len + 1;
+      s
+    end
+    else begin
+      let s = t.start in
+      t.start <- (t.start + 1) mod t.cap;
+      t.lost <- t.lost + 1;
+      s
+    end
+  in
+  t.ts.(slot) <- now;
+  merge_walk t.cn (Obs.counter_totals ()) (fun i v ->
+      t.c_vals.((slot * Array.length t.cn) + i) <- v);
+  merge_walk t.gn (Obs.gauge_values ()) (fun i v ->
+      t.g_vals.((slot * Array.length t.gn) + i) <- v);
+  merge_walk t.hn (Obs.histogram_dump ()) (fun i (_edges, counts, sum) ->
+      let total = Array.fold_left ( + ) 0 counts in
+      t.h_counts.((slot * Array.length t.hn) + i) <- total;
+      t.h_sums.((slot * Array.length t.hn) + i) <- sum);
+  merge_walk t.sn (Obs.span_durations ()) (fun i h ->
+      t.s_counts.((slot * Array.length t.sn) + i) <- Histo_log.count h;
+      t.s_sums.((slot * Array.length t.sn) + i) <- Histo_log.sum h;
+      let qv = Histo_log.quantiles h Prometheus.quantile_probes in
+      Array.blit qv 0 t.s_quants (((slot * Array.length t.sn) + i) * nq) nq)
+
+let tick t =
+  let now = Clock.now t.clock in
+  if now >= t.next_due then begin
+    snapshot_at t now;
+    t.next_due <- now + t.interval
+  end
+
+let force t = snapshot_at t (Clock.now t.clock)
+
+let snapshots t = t.len
+
+let dropped t = t.lost
+
+(* quantile values are bucket bounds (ints as floats) and gauges are
+   finite in practice; clamp the pathological non-finite case so the
+   export stays strict JSON *)
+let json_float v = if Float.is_finite v then Printf.sprintf "%.12g" v else "0"
+
+let iter_rows t f =
+  for k = 0 to t.len - 1 do
+    f ((t.start + k) mod t.cap)
+  done
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  let str_array names =
+    let sb = Buffer.create 64 in
+    Buffer.add_char sb '[';
+    Array.iteri
+      (fun i n ->
+        if i > 0 then Buffer.add_string sb ", ";
+        Buffer.add_char sb '"';
+        Buffer.add_string sb n;
+        Buffer.add_char sb '"')
+      names;
+    Buffer.add_char sb ']';
+    Buffer.contents sb
+  in
+  Buffer.add_string b "{\n  \"schema\": \"dcache-timeline/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"interval_ns\": %d,\n" t.interval);
+  Buffer.add_string b (Printf.sprintf "  \"dropped\": %d,\n" t.lost);
+  Buffer.add_string b "  \"columns\": {\n";
+  Buffer.add_string b (Printf.sprintf "    \"counters\": %s,\n" (str_array t.cn));
+  Buffer.add_string b (Printf.sprintf "    \"gauges\": %s,\n" (str_array t.gn));
+  Buffer.add_string b (Printf.sprintf "    \"histograms\": %s,\n" (str_array t.hn));
+  Buffer.add_string b (Printf.sprintf "    \"spans\": %s\n" (str_array t.sn));
+  Buffer.add_string b "  },\n  \"snapshots\": [";
+  let first = ref true in
+  iter_rows t (fun slot ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b "\n    {\"ts\": ";
+      Buffer.add_string b (string_of_int t.ts.(slot));
+      Buffer.add_string b ", \"counters\": [";
+      Array.iteri
+        (fun i _ ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (string_of_int t.c_vals.((slot * Array.length t.cn) + i)))
+        t.cn;
+      Buffer.add_string b "], \"gauges\": [";
+      Array.iteri
+        (fun i _ ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b (json_float t.g_vals.((slot * Array.length t.gn) + i)))
+        t.gn;
+      Buffer.add_string b "], \"histograms\": [";
+      Array.iteri
+        (fun i _ ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "[%d, %s]"
+               t.h_counts.((slot * Array.length t.hn) + i)
+               (json_float t.h_sums.((slot * Array.length t.hn) + i))))
+        t.hn;
+      Buffer.add_string b "], \"spans\": [";
+      Array.iteri
+        (fun i _ ->
+          if i > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "[%d, %d"
+               t.s_counts.((slot * Array.length t.sn) + i)
+               t.s_sums.((slot * Array.length t.sn) + i));
+          for q = 0 to nq - 1 do
+            Buffer.add_string b ", ";
+            Buffer.add_string b
+              (json_float t.s_quants.((((slot * Array.length t.sn) + i) * nq) + q))
+          done;
+          Buffer.add_char b ']')
+        t.sn;
+      Buffer.add_string b "]}");
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let quantile_label q =
+  (* 0.5 -> p50, 0.9 -> p90, 0.99 -> p99, 0.999 -> p999 *)
+  let s = Printf.sprintf "%.12g" q in
+  let b = Buffer.create 5 in
+  Buffer.add_char b 'p';
+  String.iter (fun c -> match c with '0' .. '9' -> Buffer.add_char b c | _ -> ()) s;
+  (* drop the leading integral 0 of "0.xxx" *)
+  let body = Buffer.contents b in
+  if String.length body > 2 && Char.equal body.[1] '0' then
+    "p" ^ String.sub body 2 (String.length body - 2)
+  else body
+
+let to_csv t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "ts";
+  Array.iter (fun n -> Buffer.add_string b ("," ^ n)) t.cn;
+  Array.iter (fun n -> Buffer.add_string b ("," ^ n)) t.gn;
+  Array.iter (fun n -> Buffer.add_string b ("," ^ n ^ ".count," ^ n ^ ".sum")) t.hn;
+  Array.iter
+    (fun n ->
+      Buffer.add_string b ("," ^ n ^ ".count," ^ n ^ ".sum");
+      Array.iter
+        (fun q -> Buffer.add_string b ("," ^ n ^ "." ^ quantile_label q))
+        Prometheus.quantile_probes)
+    t.sn;
+  Buffer.add_char b '\n';
+  iter_rows t (fun slot ->
+      Buffer.add_string b (string_of_int t.ts.(slot));
+      Array.iteri
+        (fun i _ ->
+          Buffer.add_string b ("," ^ string_of_int t.c_vals.((slot * Array.length t.cn) + i)))
+        t.cn;
+      Array.iteri
+        (fun i _ ->
+          Buffer.add_string b ("," ^ json_float t.g_vals.((slot * Array.length t.gn) + i)))
+        t.gn;
+      Array.iteri
+        (fun i _ ->
+          Buffer.add_string b
+            (Printf.sprintf ",%d,%s"
+               t.h_counts.((slot * Array.length t.hn) + i)
+               (json_float t.h_sums.((slot * Array.length t.hn) + i))))
+        t.hn;
+      Array.iteri
+        (fun i _ ->
+          Buffer.add_string b
+            (Printf.sprintf ",%d,%d"
+               t.s_counts.((slot * Array.length t.sn) + i)
+               t.s_sums.((slot * Array.length t.sn) + i));
+          for q = 0 to nq - 1 do
+            Buffer.add_string b
+              ("," ^ json_float t.s_quants.((((slot * Array.length t.sn) + i) * nq) + q))
+          done)
+        t.sn;
+      Buffer.add_char b '\n');
+  Buffer.contents b
+
+let write_json t ~path =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_json t))
+
+let write_csv t ~path =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_csv t))

@@ -1,0 +1,51 @@
+(** Flight recorder: periodic snapshots of the whole {!Obs} registry
+    into a preallocated ring, exportable as a [dcache-timeline/1]
+    timeline (JSON or CSV).
+
+    A recorder captures the registry's {e shape} (sorted metric
+    names) at {!create} and allocates every column up front: each
+    snapshot is array stores only — counters and gauges verbatim,
+    fixed histograms as (count, sum), spans as (count, exact int sum,
+    p50/p90/p99/p999 from {!Histo_log.quantiles}).  When the ring is
+    full the oldest snapshot is overwritten and the loss counted, the
+    same contract as the trace ring.
+
+    Time is the injected {!Clock} — {!tick} snapshots only when the
+    clock has advanced past the next deadline, so a driver calls it
+    unconditionally per batch.  Under the virtual tick clock the
+    entire timeline (timestamps included) is a deterministic function
+    of the driver's call sequence, byte-identical at any pool width;
+    see the width test in [test/test_obs.ml]. *)
+
+type t
+
+val create : ?capacity:int -> clock:Clock.t -> interval_ns:int -> unit -> t
+(** [capacity] snapshots are preallocated (default 1024; minimum 2).
+    [interval_ns] is the minimum clock distance between {!tick}
+    snapshots.
+    @raise Invalid_argument on non-positive interval or capacity < 2. *)
+
+val tick : t -> unit
+(** Read the clock once; snapshot if the deadline has passed (the
+    first call always snapshots).  At most one snapshot per call. *)
+
+val force : t -> unit
+(** Snapshot unconditionally, at the current clock reading. *)
+
+val snapshots : t -> int
+(** Snapshots currently retained (at most [capacity]). *)
+
+val dropped : t -> int
+(** Snapshots lost to ring overwrite since creation. *)
+
+val to_json : t -> string
+(** The retained window, oldest first, as [dcache-timeline/1] JSON:
+    a [columns] block naming the captured metrics and one row per
+    snapshot. *)
+
+val to_csv : t -> string
+(** Same window as CSV: a header row ([ts], then one column per
+    captured cell) and one line per snapshot. *)
+
+val write_json : t -> path:string -> unit
+val write_csv : t -> path:string -> unit

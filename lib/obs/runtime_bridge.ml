@@ -1,0 +1,95 @@
+(* Runtime_events -> Obs bridge.  GC phase events are read from the
+   runtime's per-domain rings at [poll] time (on the polling domain,
+   never from a signal or background thread) and appended to the main
+   trace ring with explicit timestamps via [Obs.inject_event].
+
+   The phase->span memo is an assq list rebuilt per bridge: phases
+   are immediate constructors, there are a few dozen of them, and
+   polling is far off any hot path — a Hashtbl would only buy lint R1
+   an argument. *)
+
+let gc_track_base = 256
+
+type t = {
+  cursor : Runtime_events.cursor;
+  mutable callbacks : Runtime_events.Callbacks.t option;
+  mutable calibrating : bool;
+  mutable max_ts : int;
+  mutable offset : int;
+  mutable phase_spans : (Runtime_events.runtime_phase * Obs.span) list;
+  mutable stopped : bool;
+}
+
+let span_of t phase =
+  match List.assq_opt phase t.phase_spans with
+  | Some sp -> sp
+  | None ->
+      let sp = Obs.span_name ("gc." ^ Runtime_events.runtime_phase_name phase) in
+      t.phase_spans <- (phase, sp) :: t.phase_spans;
+      sp
+
+let ns_of ts = Int64.to_int (Runtime_events.Timestamp.to_int64 ts)
+
+let handle t ~is_begin ring_dom ts phase =
+  let ts = ns_of ts in
+  if t.calibrating then begin
+    if ts > t.max_ts then t.max_ts <- ts
+  end
+  else
+    Obs.inject_event (span_of t phase) ~track:(gc_track_base + ring_dom) ~is_begin
+      ~ts:(ts + t.offset)
+
+let callbacks t =
+  match t.callbacks with
+  | Some cb -> cb
+  | None ->
+      let cb =
+        Runtime_events.Callbacks.create
+          ~runtime_begin:(fun dom ts phase -> handle t ~is_begin:true dom ts phase)
+          ~runtime_end:(fun dom ts phase -> handle t ~is_begin:false dom ts phase)
+          ()
+      in
+      t.callbacks <- Some cb;
+      cb
+
+let start () =
+  Runtime_events.start ();
+  let cursor = Runtime_events.create_cursor None in
+  let t =
+    {
+      cursor;
+      callbacks = None;
+      calibrating = true;
+      max_ts = 0;
+      offset = 0;
+      phase_spans = [];
+      stopped = false;
+    }
+  in
+  (* calibration drain: discard everything already in the ring, but
+     remember the newest runtime timestamp and pin it to the
+     recorder's current reading.  The forced minor collection
+     guarantees at least one fresh event to calibrate against. *)
+  Gc.minor ();
+  ignore (Runtime_events.read_poll cursor (callbacks t) None);
+  if t.max_ts > 0 then t.offset <- Obs.now_ns () - t.max_ts;
+  t.calibrating <- false;
+  t
+
+let poll t =
+  if t.stopped then 0 else Runtime_events.read_poll t.cursor (callbacks t) None
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Runtime_events.free_cursor t.cursor;
+    Runtime_events.pause ()
+  end
+
+let install () =
+  if Obs.probe () then begin
+    let t = start () in
+    at_exit (fun () -> if not t.stopped then ignore (poll t));
+    Some t
+  end
+  else None

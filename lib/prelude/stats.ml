@@ -47,18 +47,24 @@ let kahan_sum xs =
   Array.iter (kahan_add k) xs;
   kahan_total k
 
-let percentile samples p =
-  let n = Array.length samples in
-  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+(* closest-ranks linear interpolation over an already-sorted copy *)
+let interpolate sorted n p =
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.copy samples in
-  Array.sort compare sorted;
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
   if lo = hi then sorted.(lo)
   else
     let w = rank -. float_of_int lo in
     (sorted.(lo) *. (1. -. w)) +. (sorted.(hi) *. w)
+
+let percentiles samples ps =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  Array.map (fun p -> interpolate sorted n p) ps
+
+let percentile samples p = (percentiles samples [| p |]).(0)
 
 let median samples = percentile samples 50.
 

@@ -56,6 +56,12 @@ val percentile : float array -> float -> float
     interpolation between closest ranks.  The array is not modified.
     Raises [Invalid_argument] on an empty array. *)
 
+val percentiles : float array -> float array -> float array
+(** Batch {!percentile}: one sort of one copy, then an interpolation
+    per probe — probes need not be sorted.  Report code asking for
+    p50/p90/p99 in one line should use this, not three
+    {!percentile} calls (three copies, three sorts). *)
+
 val median : float array -> float
 
 (** {1 Histogram} *)

@@ -6,10 +6,18 @@
 
 module Obs = Dcache_obs.Obs
 module Clock = Dcache_obs.Clock
+module Histo = Dcache_obs.Histo_log
+module Prom = Dcache_obs.Prometheus
+module Recorder = Dcache_obs.Recorder
 module Bench_json = Dcache_bench_common.Bench_json
 module Pool = Dcache_prelude.Pool
 module Rng = Dcache_prelude.Rng
 open Helpers
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
 
 (* see test_pool.ml: module-level pools are torn down with the process *)
 let pool1 = Pool.create ~domains:1 ()
@@ -175,15 +183,334 @@ let trace_is_width_independent () =
   Alcotest.(check (list (pair string int))) "counter totals identical at widths 1 and 4"
     counters1 counters4;
   (* the sweep exercised the instrumented layers end to end *)
-  let contains needle hay =
-    let nl = String.length needle and hl = String.length hay in
-    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-    go 0
-  in
   Alcotest.(check bool) "pool span present" true (contains "pool.parallel" tree1);
   Alcotest.(check bool) "offline-dp span present" true (contains "offline_dp.solve" tree1);
   Alcotest.(check bool) "push counter counted" true
     (List.exists (fun (k, v) -> String.equal k "streaming_dp.push" && v > 0) counters1)
+
+(* ------------------------------------------- log-scale histograms *)
+
+let log_histo_buckets () =
+  (* exact region: one bucket per value, negatives clamp to 0 *)
+  for v = 0 to 15 do
+    Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) v (Histo.bucket_of v)
+  done;
+  Alcotest.(check int) "negative clamps to bucket 0" 0 (Histo.bucket_of (-3));
+  (* octave boundaries: 15|16 and 31|32 split buckets *)
+  Alcotest.(check bool) "15 and 16 in different buckets" true
+    (Histo.bucket_of 15 <> Histo.bucket_of 16);
+  Alcotest.(check bool) "31 and 32 in different buckets" true
+    (Histo.bucket_of 31 <> Histo.bucket_of 32);
+  (* bucket_bounds partitions the value line: both ends of a bucket
+     map back to it and hi + 1 starts the next bucket *)
+  for b = 0 to 200 do
+    let lo, hi = Histo.bucket_bounds b in
+    Alcotest.(check int) (Printf.sprintf "lo of bucket %d maps back" b) b (Histo.bucket_of lo);
+    Alcotest.(check int) (Printf.sprintf "hi of bucket %d maps back" b) b (Histo.bucket_of hi);
+    Alcotest.(check int)
+      (Printf.sprintf "hi+1 of bucket %d starts the next" b)
+      (b + 1) (Histo.bucket_of (hi + 1))
+  done;
+  Alcotest.(check bool) "out-of-range bounds rejected" true
+    (try
+       ignore (Histo.bucket_bounds Histo.num_buckets);
+       false
+     with Invalid_argument _ -> true)
+
+let log_histo_quantiles () =
+  let h = Histo.create () in
+  Alcotest.(check (float 0.0)) "empty quantile is 0" 0.0 (Histo.quantile h 0.5);
+  for v = 1 to 1000 do
+    Histo.record h v
+  done;
+  Alcotest.(check int) "count" 1000 (Histo.count h);
+  Alcotest.(check int) "exact sum" 500500 (Histo.sum h);
+  (* quantiles overestimate by at most relative_error (bucket upper
+     bound), and the batch walk agrees with single probes *)
+  let probes = [| 0.5; 0.9; 0.99; 0.999 |] in
+  let truth = [| 500.0; 900.0; 990.0; 999.0 |] in
+  let qs = Histo.quantiles h probes in
+  Array.iteri
+    (fun i q ->
+      let t = truth.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g >= true value" (100.0 *. probes.(i)))
+        true (q >= t);
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g within relative error" (100.0 *. probes.(i)))
+        true
+        (q <= (t *. (1.0 +. Histo.relative_error)) +. 1.0);
+      check_float "batch agrees with single probe" (Histo.quantile h probes.(i)) q)
+    qs;
+  (* a single value reads back as its bucket's upper bound at every q *)
+  let h1 = Histo.create () in
+  Histo.record h1 42;
+  let _, hi = Histo.bucket_bounds (Histo.bucket_of 42) in
+  check_float "single value p50 is its bucket bound" (float_of_int hi) (Histo.quantile h1 0.5);
+  check_float "single value p999 identical" (float_of_int hi) (Histo.quantile h1 0.999);
+  Histo.reset h1;
+  Alcotest.(check int) "reset zeroes count" 0 (Histo.count h1)
+
+let log_histo_merge () =
+  let mk vals =
+    let h = Histo.create () in
+    List.iter (Histo.record h) vals;
+    h
+  in
+  let a () = mk [ 1; 2; 3; 100; 1000; 65536 ] in
+  let b () = mk [ 5; 50; 500 ] in
+  let c () = mk [ 7; 70; 7000; 7 ] in
+  (* (a <- b) <- c versus a <- (b <- c): pointwise int sums, so the
+     merge tree over per-task histograms cannot matter *)
+  let left = a () in
+  Histo.merge_into ~into:left (b ());
+  Histo.merge_into ~into:left (c ());
+  let right_inner = b () in
+  Histo.merge_into ~into:right_inner (c ());
+  let right = a () in
+  Histo.merge_into ~into:right right_inner;
+  Alcotest.(check int) "merged count" (Histo.count left) (Histo.count right);
+  Alcotest.(check int) "merged sum" (Histo.sum left) (Histo.sum right);
+  Alcotest.(check (array int)) "merged buckets" (Histo.counts left) (Histo.counts right);
+  check_float "merged quantiles" (Histo.quantile left 0.9) (Histo.quantile right 0.9)
+
+let log_histo_across_pool_tasks () =
+  (* recording from pool tasks is plain atomic bumps into shared
+     cells — the counts must equal the sequential reference *)
+  let h = Histo.create () in
+  let _ =
+    Pool.parallel_init pool4 64 (fun i ->
+        Histo.record h (i * 37 mod 1024);
+        0.0)
+  in
+  let reference = Histo.create () in
+  for i = 0 to 63 do
+    Histo.record reference (i * 37 mod 1024)
+  done;
+  Alcotest.(check int) "pool-recorded count" (Histo.count reference) (Histo.count h);
+  Alcotest.(check int) "pool-recorded sum" (Histo.sum reference) (Histo.sum h);
+  Alcotest.(check (array int)) "pool-recorded buckets" (Histo.counts reference) (Histo.counts h)
+
+(* ---------------------------------------------- Prometheus export *)
+
+let prometheus_exposition () =
+  with_recording @@ fun _r ->
+  Obs.add c_clicks 5;
+  Obs.set_gauge g_level 2.5;
+  List.iter (Obs.observe h_sizes) [ 0.5; 3.0; 9.0 ];
+  Obs.spanned sp_outer (fun () -> ());
+  (* the readback surface the exporters are built on *)
+  check_float "histogram float sum readback" 12.5 (Obs.histogram_sum h_sizes);
+  Alcotest.(check int) "span histo counted the span" 1 (Histo.count (Obs.span_histo sp_outer));
+  Alcotest.(check bool) "gauge_values carries the gauge" true
+    (List.exists
+       (fun (k, v) -> String.equal k "test.obs.level" && v > 2.49 && v < 2.51)
+       (Obs.gauge_values ()));
+  Alcotest.(check bool) "histogram_dump carries the histogram" true
+    (List.exists (fun (k, _) -> String.equal k "test.obs.sizes") (Obs.histogram_dump ()));
+  let text = Prom.exposition () in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " in exposition") true (contains needle text))
+    [
+      "# TYPE dcache_test_obs_clicks_total counter";
+      "dcache_test_obs_clicks_total 5";
+      "# TYPE dcache_test_obs_level gauge";
+      "dcache_test_obs_level 2.5";
+      "# TYPE dcache_test_obs_sizes histogram";
+      "dcache_test_obs_sizes_bucket{le=\"+Inf\"} 3";
+      "dcache_test_obs_sizes_count 3";
+      "# TYPE dcache_test_obs_outer_duration_seconds summary";
+      "dcache_test_obs_outer_duration_seconds{quantile=\"0.5\"}";
+      "dcache_test_obs_outer_duration_seconds_count 1";
+    ];
+  (* the exposition passes its own golden 0.0.4 parser *)
+  (match Prom.validate text with
+  | Ok n -> Alcotest.(check bool) "validator counts samples" true (n > 0)
+  | Error e -> Alcotest.failf "exposition invalid: %s" e);
+  (* name sanitisation and label escaping *)
+  Alcotest.(check string) "metric_name sanitises dots" "streaming_dp_push"
+    (Prom.metric_name "streaming_dp.push");
+  Alcotest.(check string) "label escaping" "a\\\\b\\\"c\\nd" (Prom.escape_label "a\\b\"c\nd");
+  Alcotest.(check string) "help escaping" "x\\\\y\\nz" (Prom.escape_help "x\\y\nz");
+  Alcotest.(check string) "content type" "text/plain; version=0.0.4" Prom.content_type;
+  Alcotest.(check int) "four summary probes" 4 (Array.length Prom.quantile_probes);
+  (* malformed expositions are rejected, naming the bad line *)
+  List.iter
+    (fun bad ->
+      match Prom.validate bad with
+      | Ok _ -> Alcotest.failf "accepted malformed exposition %S" bad
+      | Error _ -> ())
+    [ "dcache_bad{le=} 1\n"; "# TYPE x nonsense\n"; "9starts_with_digit 1\n"; "no_value\n" ]
+
+(* ----------------------------------------------- flight recorder *)
+
+let flight_recorder_ring () =
+  with_recording @@ fun _r ->
+  let t = ref 0 in
+  let clock =
+    Clock.of_fn (fun () ->
+        incr t;
+        !t * 100)
+  in
+  let rec_ = Recorder.create ~capacity:4 ~clock ~interval_ns:1 () in
+  for _ = 1 to 10 do
+    Obs.incr c_clicks;
+    Recorder.tick rec_
+  done;
+  Alcotest.(check int) "ring holds capacity" 4 (Recorder.snapshots rec_);
+  Alcotest.(check int) "overwrites accounted" 6 (Recorder.dropped rec_);
+  (match Bench_json.of_string (Recorder.to_json rec_) with
+  | Error e -> Alcotest.failf "timeline does not parse: %s" e
+  | Ok v -> (
+      Alcotest.(check (option string)) "timeline schema" (Some "dcache-timeline/1")
+        (Bench_json.to_str (Bench_json.member "schema" v));
+      match Bench_json.to_list (Bench_json.member "snapshots" v) with
+      | Some rows -> Alcotest.(check int) "rows = retained snapshots" 4 (List.length rows)
+      | None -> Alcotest.fail "snapshots missing"));
+  (* CSV window: a header plus one line per retained snapshot *)
+  let lines = String.split_on_char '\n' (String.trim (Recorder.to_csv rec_)) in
+  Alcotest.(check int) "csv header + rows" 5 (List.length lines);
+  (* interval gating: a clock advancing less than the interval
+     snapshots only on the first tick *)
+  let slow = Recorder.create ~capacity:4 ~clock:(Clock.of_fn (fun () -> 0)) ~interval_ns:1000 () in
+  Recorder.tick slow;
+  Recorder.tick slow;
+  Recorder.tick slow;
+  Alcotest.(check int) "deadline gating" 1 (Recorder.snapshots slow);
+  Recorder.force slow;
+  Alcotest.(check int) "force always snapshots" 2 (Recorder.snapshots slow);
+  let bad f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "capacity < 2 rejected" true
+    (bad (fun () -> Recorder.create ~capacity:1 ~clock ~interval_ns:1 ()));
+  Alcotest.(check bool) "non-positive interval rejected" true
+    (bad (fun () -> Recorder.create ~clock ~interval_ns:0 ()))
+
+(* Same contract as the trace, one layer up: the whole exported
+   timeline (timestamps included, both encodings) is byte-identical
+   at pool widths 1 and 4 under virtual clocks. *)
+let timeline_sweep pool =
+  Obs.reset ();
+  let r = Obs.recorder ~clock:(Clock.ticks ()) () in
+  Obs.set_sink (Obs.Recording r);
+  Fun.protect
+    ~finally:(fun () -> Obs.set_sink Obs.Noop)
+    (fun () ->
+      let t = ref 0 in
+      let rclock =
+        Clock.of_fn (fun () ->
+            incr t;
+            !t)
+      in
+      let rec_ = Recorder.create ~capacity:8 ~clock:rclock ~interval_ns:1 () in
+      Recorder.tick rec_;
+      let total = sweep pool (Rng.create 99) 11 in
+      Recorder.force rec_;
+      (total, Recorder.to_json rec_, Recorder.to_csv rec_))
+
+let timeline_is_width_independent () =
+  let total1, json1, csv1 = timeline_sweep pool1 in
+  let total4, json4, csv4 = timeline_sweep pool4 in
+  Obs.reset ();
+  check_float "sweep total unchanged" total1 total4;
+  Alcotest.(check string) "timeline JSON byte-identical at widths 1 and 4" json1 json4;
+  Alcotest.(check string) "timeline CSV byte-identical at widths 1 and 4" csv1 csv4;
+  Alcotest.(check bool) "timeline carries the push span quantiles" true
+    (contains "streaming_dp.push" json1 || contains "offline_dp.solve" json1)
+
+(* ------------------------------------------------ GC-span injection *)
+
+(* [inject_event] is the Runtime_bridge's landing strip: events with
+   caller-supplied timestamps and high track ids appear as spans in
+   the Chrome export alongside ordinary ones. *)
+let injected_events_in_trace () =
+  with_recording @@ fun r ->
+  let sp = Obs.span_name "gc.test_phase" in
+  let track = Dcache_obs.Runtime_bridge.gc_track_base in
+  Obs.inject_event sp ~track ~is_begin:true ~ts:10;
+  Obs.inject_event sp ~track ~is_begin:false ~ts:20;
+  Obs.spanned sp_outer (fun () -> ());
+  let json = Obs.chrome_json r in
+  Alcotest.(check bool) "injected span in export" true (contains "gc.test_phase" json);
+  Alcotest.(check bool) "ordinary span still in export" true (contains "test.obs.outer" json);
+  Alcotest.(check bool) "gc track id in export" true
+    (contains (Printf.sprintf "\"tid\": %d" track) json)
+
+(* The live bridge, wall-clock only (never under the determinism
+   contract): starting it and forcing collections must land at least
+   one gc.* span in the trace.  Also the acceptance check for the
+   Runtime_events integration, in-suite. *)
+let runtime_bridge_gc_spans () =
+  let r = Obs.recorder ~clock:(Clock.monotonic ()) () in
+  Obs.set_sink (Obs.Recording r);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.Noop;
+      Obs.reset ())
+    (fun () ->
+      let b = Dcache_obs.Runtime_bridge.start () in
+      Obs.spanned sp_outer (fun () ->
+          Gc.minor ();
+          Gc.minor ());
+      let consumed = Dcache_obs.Runtime_bridge.poll b in
+      Dcache_obs.Runtime_bridge.stop b;
+      Alcotest.(check bool) "bridge consumed runtime events" true (consumed > 0);
+      let json = Obs.chrome_json r in
+      Alcotest.(check bool) "gc span interleaved with dp spans" true (contains "gc." json);
+      Alcotest.(check bool) "ordinary span present too" true (contains "test.obs.outer" json))
+
+(* -------------------------------------------- bench JSON round-trip *)
+
+let bench_json_roundtrip () =
+  let entry =
+    {
+      Bench_json.group = "g";
+      name = "case one";
+      ns_per_run = 12.5;
+      mops_per_sec = 80.0;
+      minor_words_per_run = 0.0;
+    }
+  in
+  let q =
+    { Bench_json.q_count = 3; q_sum_ns = 6.0; q_p50 = 1.0; q_p90 = 2.0; q_p99 = 3.0; q_p999 = 3.0 }
+  in
+  let report =
+    {
+      Bench_json.schema = Bench_json.schema_id;
+      git_rev = "deadbeef";
+      domains = 4;
+      quick = true;
+      words_per_push = 3.0;
+      entries = [ entry ];
+      counters = [ ("streaming_dp.push", 1000); ("pool.tasks", 17) ];
+      quantiles = [ ("streaming_dp.push", q) ];
+    }
+  in
+  let s1 = Bench_json.report_to_string report in
+  (match Bench_json.report_of_string s1 with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok r2 ->
+      Alcotest.(check string) "write -> read -> write is byte-identical" s1
+        (Bench_json.report_to_string r2);
+      Alcotest.(check (list (pair string int))) "counters survive" report.Bench_json.counters
+        r2.Bench_json.counters;
+      Alcotest.(check int) "quantile count survives" 3
+        (match r2.Bench_json.quantiles with [ (_, q2) ] -> q2.Bench_json.q_count | _ -> -1));
+  (* both optional fields are omitted when empty and default on read,
+     so pre-PR-4/5 baselines keep parsing *)
+  let bare = { report with Bench_json.counters = []; quantiles = [] } in
+  let s2 = Bench_json.report_to_string bare in
+  Alcotest.(check bool) "empty counters field omitted" false (contains "counters" s2);
+  Alcotest.(check bool) "empty quantiles field omitted" false (contains "quantiles" s2);
+  match Bench_json.report_of_string s2 with
+  | Error e -> Alcotest.failf "bare report parse failed: %s" e
+  | Ok r3 ->
+      Alcotest.(check (list (pair string int))) "counters default to []" [] r3.Bench_json.counters;
+      Alcotest.(check int) "quantiles default to []" 0 (List.length r3.Bench_json.quantiles)
 
 let suite =
   [
@@ -194,4 +521,14 @@ let suite =
     case "obs: span tree and Chrome export" span_tree_and_chrome_export;
     case "obs: ring overwrite accounted" ring_overwrite_is_accounted;
     case "obs: trace structure and counters are width-independent" trace_is_width_independent;
+    case "obs: log-histogram bucket placement and boundaries" log_histo_buckets;
+    case "obs: log-histogram quantile readback" log_histo_quantiles;
+    case "obs: log-histogram merge is associative" log_histo_merge;
+    case "obs: log-histogram recording across pool tasks" log_histo_across_pool_tasks;
+    case "obs: Prometheus exposition golden" prometheus_exposition;
+    case "obs: flight-recorder ring and gating" flight_recorder_ring;
+    case "obs: timeline export is width-independent" timeline_is_width_independent;
+    case "obs: injected events land in the trace" injected_events_in_trace;
+    case "obs: runtime bridge records GC spans" runtime_bridge_gc_spans;
+    case "obs: bench JSON round-trips counters and quantiles" bench_json_roundtrip;
   ]

@@ -17,7 +17,9 @@ let catalog =
     ("S2", "exception escape: undocumented exceptions escaping public lib/core / lib/baselines values");
     ("S3", "dead export: .mli value never referenced outside its own library");
     ("S4", "numeric stability: float cost accumulator folded with bare +. in a loop");
-    ("S5", "observability discipline: a Recording sink constructed inside a [@@hot] body");
+    ( "S5",
+      "observability discipline: a Recording sink constructed, or a Recorder ring / Prometheus \
+       endpoint created, inside a [@@hot] body" );
   ]
 
 (* The per-unit result the engine caches (keyed by cmt+source digest):
@@ -206,7 +208,19 @@ let check_s1 ~path add structure =
    one-global-sink contract [set_sink] maintains.  Construct the sink
    once at startup (bin/, bench/, tests) and let the hot code see it
    through [Obs.probe].  Matched on the typed tree: any constructor
-   named [Recording] whose result type is a [sink]. *)
+   named [Recording] whose result type is a [sink].
+
+   The same discipline covers the obs setup entry points that arrived
+   with the telemetry layer: [Recorder.create] preallocates a snapshot
+   ring and [Prometheus.listen] binds a socket — both exist to be
+   called once at startup, never per request.  Matched on the resolved
+   application path's last two components, so local modules named
+   [Recorder]/[Prometheus] in fixtures key the same way as the real
+   [Dcache_obs] ones. *)
+
+let s5_setup_call = function
+  | ("Recorder", "create") | ("Prometheus", "listen") -> true
+  | _ -> false
 
 let is_sink_type ty =
   match Types.get_desc ty with
@@ -228,6 +242,17 @@ let scan_s5_hot_body ~path ~fname add body =
                       "`Recording` sink constructed in the body of hot `%s`: build the sink once \
                        at startup and let the hot path observe it via `Obs.probe`"
                       fname))
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+              match use_of_path p with
+              | Some ((m, v) as key) when s5_setup_call key ->
+                  add
+                    (F.make ~path ~loc:e.exp_loc ~rule:"S5"
+                       (Printf.sprintf
+                          "`%s.%s` called in the body of hot `%s`: rings and endpoints are \
+                           startup-time constructions — create them once and let the hot path \
+                           feed them through the registry"
+                          m v fname))
+              | Some _ | None -> ())
           | _ -> ());
           Tast_iterator.default_iterator.expr self e);
     }
