@@ -1,4 +1,5 @@
 module Obs = Dcache_obs.Obs
+module Pq = Dcache_prelude.Pqueue.Flat
 
 (* registered once; probed in bulk at end-of-run so the request loop
    pays nothing for them (the epoch histogram is the one in-loop
@@ -53,7 +54,7 @@ type state = {
   last_use : float array;  (* last serve/refresh time of the live copy *)
   stamp : int array;  (* refresh recency, for the source/target tie-break *)
   from_transfer : bool array;
-  queue : (float * int) Dcache_prelude.Pqueue.t;
+  queue : Pq.t;  (* expiration events, tuple-free for the hot loop *)
   mutable live : int;  (* the paper's counter c *)
   mutable next_stamp : int;
   mutable caching : float;
@@ -69,7 +70,7 @@ let refresh st server time =
   st.last_use.(server) <- time;
   st.stamp.(server) <- st.next_stamp;
   st.next_stamp <- st.next_stamp + 1;
-  Dcache_prelude.Pqueue.push st.queue (st.expiry.(server), server)
+  Pq.push st.queue ~time:st.expiry.(server) ~server
 
 let activate st server time ~by_transfer =
   st.active.(server) <- true;
@@ -92,65 +93,80 @@ let deactivate st server time =
     }
     :: st.segments
 
-let valid st (time, server) = st.active.(server) && st.expiry.(server) = time
+let valid st time server = st.active.(server) && st.expiry.(server) = time
 
-(* Process expirations strictly before [limit]. *)
+(* Process expirations strictly before [limit].  Tuple-free: the heap
+   minimum is read through [min_time]/[min_server] so the fast path
+   (nothing expired) touches no options and no pairs. *)
 let rec drain st limit =
-  match Dcache_prelude.Pqueue.peek st.queue with
-  | Some ((time, _) as entry) when time < limit ->
-      ignore (Dcache_prelude.Pqueue.pop st.queue);
-      if valid st entry then begin
-        let _, server = entry in
-        (* a simultaneous valid partner can only be the other half of a
-           source/target pair refreshed by one transfer *)
-        let partner =
-          match Dcache_prelude.Pqueue.peek st.queue with
-          | Some ((t2, s2) as e2) when t2 = time && s2 <> server && valid st e2 ->
-              ignore (Dcache_prelude.Pqueue.pop st.queue);
-              Some (snd e2)
-          | Some _ | None -> None
-        in
-        (match partner with
-        | Some other ->
-            if st.live > 2 then begin
-              deactivate st server time;
-              deactivate st other time;
-              log st (Expired { server; time });
-              log st (Expired { server = other; time })
-            end
-            else begin
-              (* the last two copies: drop the source, keep the target *)
-              let source, target =
-                if st.stamp.(server) > st.stamp.(other) then (other, server)
-                else (server, other)
-              in
-              deactivate st source time;
-              log st (Expired { server = source; time });
-              st.expiry.(target) <- time +. st.delta_t;
-              Dcache_prelude.Pqueue.push st.queue (st.expiry.(target), target);
-              log st (Extended { server = target; time; new_expiry = st.expiry.(target) })
-            end
-        | None ->
-            if st.live > 1 then begin
-              deactivate st server time;
-              log st (Expired { server; time })
-            end
-            else begin
-              (* last copy anywhere: extend.  Consecutive extensions
-                 across an idle gap collapse into one jump of
-                 ceil((limit - t) / delta_t) windows — no observable
-                 difference, since nothing else can happen while a
-                 single copy idles. *)
-              let gaps = Float.ceil ((limit -. time) /. st.delta_t) in
-              let gaps = Float.max gaps 1.0 in
-              st.expiry.(server) <- time +. (gaps *. st.delta_t);
-              Dcache_prelude.Pqueue.push st.queue (st.expiry.(server), server);
-              log st (Extended { server; time; new_expiry = st.expiry.(server) })
-            end);
-        drain st limit
+  if (not (Pq.is_empty st.queue)) && Pq.min_time st.queue < limit then begin
+    let time = Pq.min_time st.queue in
+    let server = Pq.min_server st.queue in
+    Pq.drop_min st.queue;
+    if valid st time server then begin
+      (* a simultaneous valid partner can only be the other half of a
+         source/target pair refreshed by one transfer; -1 = none *)
+      let partner =
+        if
+          (not (Pq.is_empty st.queue))
+          && Pq.min_time st.queue = time
+          && Pq.min_server st.queue <> server
+          && valid st time (Pq.min_server st.queue)
+        then begin
+          let other = Pq.min_server st.queue in
+          Pq.drop_min st.queue;
+          other
+        end
+        else -1
+      in
+      if partner >= 0 then begin
+        let other = partner in
+        if st.live > 2 then begin
+          deactivate st server time;
+          deactivate st other time;
+          log st (Expired { server; time });
+          log st (Expired { server = other; time })
+        end
+        else begin
+          (* the last two copies: drop the source, keep the target *)
+          let source, target =
+            if st.stamp.(server) > st.stamp.(other) then (other, server) else (server, other)
+          in
+          deactivate st source time;
+          log st (Expired { server = source; time });
+          st.expiry.(target) <- time +. st.delta_t;
+          Pq.push st.queue ~time:st.expiry.(target) ~server:target;
+          log st (Extended { server = target; time; new_expiry = st.expiry.(target) })
+        end
       end
-      else drain st limit
-  | Some _ | None -> ()
+      else if st.live > 1 then begin
+        deactivate st server time;
+        log st (Expired { server; time })
+      end
+      else begin
+        (* last copy anywhere: extend.  Consecutive extensions
+           across an idle gap collapse into one jump of
+           ceil((limit - t) / delta_t) windows — no observable
+           difference, since nothing else can happen while a
+           single copy idles. *)
+        let gaps = Float.ceil ((limit -. time) /. st.delta_t) in
+        let gaps = Float.max gaps 1.0 in
+        st.expiry.(server) <- time +. (gaps *. st.delta_t);
+        Pq.push st.queue ~time:st.expiry.(server) ~server;
+        log st (Extended { server; time; new_expiry = st.expiry.(server) })
+      end
+    end;
+    drain st limit
+  end
+
+(* most recently refreshed live copy, tail-recursively — the hot loop
+   calls this on the rare fallback path, so it must not close over
+   anything *)
+let rec most_recent_live st m k best =
+  if k >= m then best
+  else if st.active.(k) && (best < 0 || st.stamp.(k) > st.stamp.(best)) then
+    most_recent_live st m (k + 1) k
+  else most_recent_live st m (k + 1) best
 
 let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy model seq =
   Obs.spanned sp_run @@ fun () ->
@@ -183,7 +199,7 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
       last_use = Array.make m 0.0;
       stamp = Array.make m 0;
       from_transfer = Array.make m false;
-      queue = Dcache_prelude.Pqueue.create ~cmp:compare;
+      queue = Pq.create ();
       live = 0;
       next_stamp = 1;
       caching = 0.0;
@@ -199,11 +215,13 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
   let serves = Array.make (n + 1) By_cache in
   for i = 1 to n do
     let j = Sequence.server seq i and ti = Sequence.time seq i in
+    (* dcache-sema: allow S1 — expirations are rare (one per window, not per request); the segment/event records they produce are the run's output *)
     drain st ti;
     if st.active.(j) && st.expiry.(j) >= ti then begin
       (* live local copy: serve from cache and renew its window *)
       refresh st j ti;
       serves.(i) <- By_cache;
+      (* dcache-sema: allow S1 — event cons is guarded by [record_events], off on hot runs *)
       log st (Served { index = i; server = j; time = ti; kind = By_cache })
     end
     else begin
@@ -214,13 +232,7 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
          never dropped). *)
       let src =
         if st.active.(!last_copy_server) then !last_copy_server
-        else begin
-          let best = ref (-1) in
-          for k = 0 to m - 1 do
-            if st.active.(k) && (!best < 0 || st.stamp.(k) > st.stamp.(!best)) then best := k
-          done;
-          !best
-        end
+        else most_recent_live st m 0 (-1)
       in
       assert (src >= 0 && st.active.(src));
       incr num_transfers;
@@ -235,6 +247,7 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
       if Obs.probe () then Obs.observe h_epoch_transfers (float_of_int !epoch_transfers);
       for k = 0 to m - 1 do
         if k <> j && st.active.(k) then begin
+          (* dcache-sema: allow S1 — epoch resets are rare by construction (every epoch_size transfers); the closed segments are the run's output *)
           deactivate st k ti;
           log st (Expired { server = k; time = ti })
         end

@@ -35,7 +35,6 @@ let kahan_add k x =
   if Float.is_finite t then
     (* Neumaier: recover the low-order bits of whichever operand has
        the smaller magnitude; the comparison is exact by design *)
-    (* dcache-lint: allow R2 — magnitude test selecting the compensation branch, not a tolerance decision *)
     if abs_float k.k_sum >= abs_float x then k.k_comp <- k.k_comp +. (k.k_sum -. t +. x)
     else k.k_comp <- k.k_comp +. (x -. t +. k.k_sum);
   k.k_sum <- t

@@ -1,0 +1,18 @@
+(* S1 v2 negatives: an in-place helper is fine, and a [@@hot] callee
+   that allocates (amortised growth) is exempt — hot functions are
+   already certified by the local S1 pass and the perf gate *)
+let bump (a : int array) i = a.(i) <- a.(i) + 1
+
+let grow_hot (dst : int array ref) v =
+  let a = Array.make ((Array.length !dst * 2) + 1) v in
+  dst := a
+[@@hot]
+
+let sweep (buf : int array ref) rounds =
+  for _ = 1 to rounds do
+    for i = 0 to Array.length !buf - 1 do
+      bump !buf i
+    done;
+    grow_hot buf 0
+  done
+[@@hot]

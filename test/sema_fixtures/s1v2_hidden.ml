@@ -1,0 +1,13 @@
+(* S1 v2: the per-iteration tuple is two calls below the hot loop —
+   invisible to the local S1 scan, caught via call-graph summaries *)
+let wrap x = (x, x + 1)
+let make_pair x = wrap (x * 2)
+let total = ref 0
+
+let sum n =
+  for i = 0 to n - 1 do
+    let a, b = make_pair i in
+    total := !total + a + b
+  done;
+  !total
+[@@hot]

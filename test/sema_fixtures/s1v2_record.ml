@@ -1,0 +1,13 @@
+(* S1 v2: a record built by a helper called from the hot loop *)
+type interval = { lo : int; hi : int }
+
+let span lo hi = { lo; hi }
+
+let width_sum (xs : int array) =
+  let acc = ref 0 in
+  for i = 0 to Array.length xs - 2 do
+    let iv = span xs.(i) xs.(i + 1) in
+    acc := !acc + (iv.hi - iv.lo)
+  done;
+  !acc
+[@@hot]

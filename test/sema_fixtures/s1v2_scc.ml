@@ -1,0 +1,14 @@
+(* S1 v2 over a cycle: the cons sits in [descend]; [collect] only
+   reaches it through the mutual recursion, so flagging the hot call
+   to [collect] requires the summary fixpoint to join the SCC *)
+let rec collect n acc = if n = 0 then acc else descend (n - 1) acc
+and descend n acc = collect n (n :: acc)
+
+let drive n =
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let xs = collect i [] in
+    total := !total + List.length xs
+  done;
+  !total
+[@@hot]

@@ -1,0 +1,5 @@
+(* S6: the ambient draw is two calls below the generator — the
+   breach must propagate generate_load -> shuffle -> jitter *)
+let jitter x = x +. Random.float 1.0
+let shuffle xs = List.map jitter xs
+let generate_load spec = shuffle spec

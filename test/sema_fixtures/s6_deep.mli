@@ -1,0 +1,3 @@
+val jitter : float -> float
+val shuffle : float list -> float list
+val generate_load : float list -> float list

@@ -1,0 +1,4 @@
+(* S6: ambient randomness one call below a workload generator *)
+let pick n = Random.int n
+
+let generate_trace n = List.init n (fun i -> i + pick (i + 1))

@@ -1,0 +1,22 @@
+(* S7 negatives: a Mutex-guarded write, an Atomic counter and a pure
+   task are all domain-safe *)
+module Pool = struct
+  let parallel_init n f = List.init n f
+  let parallel_map f xs = List.map f xs
+end
+
+let lock = Mutex.create ()
+let total = ref 0
+let counter = Atomic.make 0
+
+let guarded_sum n =
+  let _ =
+    Pool.parallel_init n (fun i ->
+        Mutex.lock lock;
+        total := !total + i;
+        Mutex.unlock lock)
+  in
+  !total
+
+let atomic_count xs = Pool.parallel_map (fun x -> Atomic.fetch_and_add counter x) xs
+let pure_square xs = Pool.parallel_map (fun x -> x * x) xs

@@ -1,0 +1,9 @@
+(* S7: a task closure bumping a captured ref races across domains *)
+module Pool = struct
+  let parallel_init n f = List.init n f
+end
+
+let run_trials n =
+  let hits = ref 0 in
+  let _ = Pool.parallel_init n (fun i -> if i land 1 = 0 then incr hits) in
+  !hits

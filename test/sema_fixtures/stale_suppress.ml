@@ -1,0 +1,5 @@
+(* a suppression that fires for nothing must be reported stale *)
+let double x = x * 2
+
+(* dcache-sema: allow S1 — stale on purpose: nothing here allocates in a hot loop *)
+let quadruple x = double (double x)

@@ -86,6 +86,33 @@ let test_suppression () =
   check_findings "wrong rule id does not suppress" [ (1, "R3") ]
     (from_source "let f xs = List.hd xs (* dcache-lint: allow R1 *)")
 
+(* a suppression must earn its keep: the tracked variant reports the
+   lines of [dcache-lint: allow] comments that suppressed nothing *)
+let stale_of src =
+  match Lint_engine.lint_source_stale ~lib_scope:true ~path:"lib/x.ml" src with
+  | Ok (_, stale) -> List.map fst stale
+  | Error msg -> Alcotest.failf "lint_source_stale: %s" msg
+
+let test_stale_suppressions () =
+  Alcotest.(check (list int)) "trailing suppression that fires is not stale" []
+    (stale_of "let f xs = List.hd xs (* dcache-lint: allow R3 *)");
+  Alcotest.(check (list int)) "comment-above suppression that fires is not stale" []
+    (stale_of "(* dcache-lint: allow R3 *)\nlet f xs = List.hd xs");
+  Alcotest.(check (list int)) "suppression matching nothing is stale" [ 1 ]
+    (stale_of "(* dcache-lint: allow R1 *)\nlet f x = x + 1");
+  Alcotest.(check (list int)) "wrong rule id is stale (and the finding survives)" [ 1 ]
+    (stale_of "let f xs = List.hd xs (* dcache-lint: allow R1 *)");
+  (* the repo's own suppressions all still earn their keep *)
+  let stale =
+    List.concat_map
+      (fun file ->
+        match Lint_engine.lint_file_stale file with
+        | Ok (_, stale) -> List.map (fun (l, _) -> Printf.sprintf "%s:%d" file l) stale
+        | Error msg -> Alcotest.failf "lint_file_stale %s: %s" file msg)
+      (E.collect_ml_files [ "../lib"; "../bench" ])
+  in
+  Alcotest.(check (list string)) "no stale suppressions under lib/ or bench/" [] stale
+
 (* ----------------------------------------------------------- baseline *)
 
 let test_baseline () =
@@ -139,6 +166,7 @@ let suite =
     Alcotest.test_case "R4 polymorphic compare" `Quick test_r4;
     Alcotest.test_case "clean fixture" `Quick test_clean;
     Alcotest.test_case "suppression comments" `Quick test_suppression;
+    Alcotest.test_case "stale suppressions" `Quick test_stale_suppressions;
     Alcotest.test_case "baseline filtering" `Quick test_baseline;
     Alcotest.test_case "baseline stays empty" `Quick test_baseline_is_empty;
     Alcotest.test_case "lib/ is lint-clean" `Quick test_lib_clean;

@@ -1,15 +1,17 @@
 (* dcache_sema: the typed pass on compiled fixtures — each S rule
-   fires on its violation fixture, suppressions silence findings,
-   S3 liveness respects cross-library users, and the digest-keyed
-   cache hits on re-runs.
+   fires on its violation fixture, the interprocedural rules (S1 v2,
+   S6, S7) see through call chains and SCCs, suppressions silence
+   findings and go stale when they stop matching, S3 liveness
+   respects cross-library users, and the digest-keyed cache hits on
+   re-runs and invalidates on an analyzer-version bump.
 
    The fixtures cannot be linted from source strings the way the
    lint suite does it: sema reads .cmt files, so the fixtures are
    compiled once (lazily) with [ocamlc -bin-annot] into a throwaway
-   tree shaped like the project — lib/core/ plus a sibling
-   directory standing in for another dune library — so the
-   path-scoped rules (S2's lib/core, the engine's lib/ scope) see
-   the prefixes they key on. *)
+   tree shaped like the project — lib/core/ and lib/workload/ plus a
+   sibling directory standing in for another dune library — so the
+   path-scoped rules (S2's lib/core, S6's lib/workload, the engine's
+   lib/ scope) see the prefixes they key on. *)
 
 module F = Report_finding
 
@@ -30,34 +32,57 @@ let copy src dst =
   let contents = In_channel.with_open_bin src In_channel.input_all in
   Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc contents)
 
-let compiled =
-  lazy
-    (let root = Filename.temp_file "dcache_sema_test" "" in
-     Sys.remove root;
-     mkdir_p (Filename.concat root "lib/core");
-     mkdir_p (Filename.concat root "other");
-     let place sub name =
-       copy (Filename.concat fixture_dir name) (Filename.concat root (Filename.concat sub name))
-     in
-     List.iter (place "lib/core")
-       [
-         "s1_violation.ml"; "s1_hot_copy.ml"; "s2_violation.ml"; "s2_violation.mli";
-         "s3_dead.ml"; "s3_dead.mli"; "s4_violation.ml"; "s5_hot_obs.ml"; "clean.ml";
-         "suppressed.ml";
-       ];
-     place "other" "s3_user.ml";
-     command
-       "cd %s && ocamlc -bin-annot -I lib/core -c lib/core/s2_violation.mli lib/core/s2_violation.ml \
-        lib/core/s3_dead.mli lib/core/s3_dead.ml lib/core/s1_violation.ml \
-        lib/core/s1_hot_copy.ml lib/core/s4_violation.ml lib/core/s5_hot_obs.ml \
-        lib/core/clean.ml lib/core/suppressed.ml"
-       (Filename.quote root);
-     command "cd %s && ocamlc -bin-annot -I lib/core -c other/s3_user.ml" (Filename.quote root);
-     root)
+let core_fixtures =
+  [
+    "s1_violation.ml"; "s1_hot_copy.ml"; "s2_violation.ml"; "s2_violation.mli"; "s3_dead.ml";
+    "s3_dead.mli"; "s4_violation.ml"; "s5_hot_obs.ml"; "clean.ml"; "suppressed.ml";
+    "s1v2_hidden.ml"; "s1v2_record.ml"; "s1v2_scc.ml"; "s1v2_clean.ml"; "s7_ref.ml";
+    "s7_named.ml"; "s7_clean.ml"; "stale_suppress.ml";
+  ]
 
-let run ?cache_file () =
+let workload_fixtures = [ "s6_deep.mli"; "s6_deep.ml"; "s6_violation.ml"; "s6_clean.ml" ]
+
+(* [core_order] lets the determinism test compile a second tree in a
+   different order; .mli-before-.ml pairs are kept adjacent *)
+let compile_tree ~core_order =
+  let root = Filename.temp_file "dcache_sema_test" "" in
+  Sys.remove root;
+  mkdir_p (Filename.concat root "lib/core");
+  mkdir_p (Filename.concat root "lib/workload");
+  mkdir_p (Filename.concat root "other");
+  let place sub name =
+    copy (Filename.concat fixture_dir name) (Filename.concat root (Filename.concat sub name))
+  in
+  List.iter (place "lib/core") core_fixtures;
+  List.iter (place "lib/workload") workload_fixtures;
+  place "other" "s3_user.ml";
+  let args order = String.concat " " (List.map (fun f -> "lib/core/" ^ f) order) in
+  let pairs_first =
+    [
+      "s2_violation.mli"; "s2_violation.ml"; "s3_dead.mli"; "s3_dead.ml";
+    ]
+  in
+  command "cd %s && ocamlc -bin-annot -I lib/core -c %s %s" (Filename.quote root)
+    (args pairs_first) (args core_order);
+  command
+    "cd %s && ocamlc -bin-annot -I lib/workload -c lib/workload/s6_deep.mli \
+     lib/workload/s6_deep.ml lib/workload/s6_violation.ml lib/workload/s6_clean.ml"
+    (Filename.quote root);
+  command "cd %s && ocamlc -bin-annot -I lib/core -c other/s3_user.ml" (Filename.quote root);
+  root
+
+let default_core_order =
+  List.filter
+    (fun f ->
+      Filename.check_suffix f ".ml"
+      && not (List.mem f [ "s2_violation.ml"; "s3_dead.ml" ]))
+    core_fixtures
+
+let compiled = lazy (compile_tree ~core_order:default_core_order)
+
+let run ?cache_file ?stamp () =
   let root = Lazy.force compiled in
-  Sema_engine.run ?cache_file ~source_root:root [ root ]
+  Sema_engine.run ?cache_file ?stamp ~source_root:root [ root ]
 
 let find rule path findings = List.filter (fun f -> f.F.rule = rule && f.F.path = path) findings
 
@@ -66,8 +91,20 @@ let check_one name rule path line findings =
   | [ f ] -> Alcotest.(check int) (name ^ " line") line f.F.line
   | fs -> Alcotest.failf "%s: expected one %s in %s, got %d" name rule path (List.length fs)
 
+let check_message name rule path needle findings =
+  match find rule path findings with
+  | [ f ] ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains f.F.message needle) then
+        Alcotest.failf "%s: message %S does not mention %S" name f.F.message needle
+  | fs -> Alcotest.failf "%s: expected one %s in %s, got %d" name rule path (List.length fs)
+
 let test_rules_fire () =
-  let findings, _, errors = run () in
+  let findings, _, errors, _ = run () in
   Alcotest.(check (list string)) "no decode errors" [] errors;
   check_one "S1 tuple in hot loop" "S1" "lib/core/s1_violation.ml" 6 findings;
   check_one "S1 body-level Array.copy" "S1" "lib/core/s1_hot_copy.ml" 6 findings;
@@ -82,42 +119,135 @@ let test_rules_fire () =
     (List.sort compare (List.map (fun f -> f.F.line) (find "S5" "lib/core/s5_hot_obs.ml" findings)))
 
 let test_s3_liveness () =
-  let findings, _, _ = run () in
+  let findings, _, _, _ = run () in
   (* dead_export (line 5) is flagged; used_export is kept alive by the
      cross-library reference in other/s3_user.ml; kept_export is dead
      but carries a suppression *)
   check_one "S3 dead export" "S3" "lib/core/s3_dead.mli" 5 findings
 
 let test_clean_and_suppressed () =
-  let findings, _, _ = run () in
+  let findings, _, _, _ = run () in
   let at path = List.filter (fun f -> f.F.path = path) findings in
-  Alcotest.(check (list string)) "clean fixture" [] (List.map F.to_human (at "lib/core/clean.ml"));
-  Alcotest.(check (list string)) "suppressed fixture" []
-    (List.map F.to_human (at "lib/core/suppressed.ml"))
+  let check_empty name path =
+    Alcotest.(check (list string)) name [] (List.map F.to_human (at path))
+  in
+  check_empty "clean fixture" "lib/core/clean.ml";
+  check_empty "suppressed fixture" "lib/core/suppressed.ml";
+  check_empty "S1v2 clean fixture" "lib/core/s1v2_clean.ml";
+  check_empty "S6 clean fixture" "lib/workload/s6_clean.ml";
+  check_empty "S7 clean fixture" "lib/core/s7_clean.ml"
+
+(* ------------------------------------------- interprocedural rules *)
+
+let test_s1v2_fires () =
+  let findings, _, _, _ = run () in
+  check_one "S1v2 tuple hidden one call down" "S1" "lib/core/s1v2_hidden.ml" 9 findings;
+  check_one "S1v2 record built by helper" "S1" "lib/core/s1v2_record.ml" 9 findings;
+  check_one "S1v2 cons inside a mutual-recursion SCC" "S1" "lib/core/s1v2_scc.ml" 10 findings;
+  (* the SCC member holding the allocation appears in the witness
+     chain even though the hot loop never calls it directly *)
+  check_message "S1v2 SCC witness" "S1" "lib/core/s1v2_scc.ml"
+    "S1v2_scc.collect -> S1v2_scc.descend" findings
+
+let test_s6_fires () =
+  let findings, _, _, _ = run () in
+  check_one "S6 ambient Random one call down" "S6" "lib/workload/s6_violation.ml" 4 findings;
+  check_one "S6 ambient Random two calls down" "S6" "lib/workload/s6_deep.ml" 5 findings
+
+let test_s7_fires () =
+  let findings, _, _, _ = run () in
+  check_one "S7 closure bumping a captured ref" "S7" "lib/core/s7_ref.ml" 8 findings;
+  check_message "S7 names the capture" "S7" "lib/core/s7_ref.ml" "`hits`" findings;
+  check_one "S7 named task writing a module Hashtbl" "S7" "lib/core/s7_named.ml" 8 findings;
+  check_message "S7 names the task" "S7" "lib/core/s7_named.ml" "S7_named.record" findings
+
+(* the acceptance demo: both planted multi-level chains are caught
+   and the messages spell out the full call path *)
+let test_interproc_demo () =
+  let findings, _, _, _ = run () in
+  check_message "hidden allocation chain" "S1" "lib/core/s1v2_hidden.ml"
+    "S1v2_hidden.make_pair -> S1v2_hidden.wrap" findings;
+  check_message "deep ambient-randomness chain" "S6" "lib/workload/s6_deep.ml"
+    "S6_deep.generate_load -> S6_deep.shuffle -> S6_deep.jitter" findings
+
+(* a unit with both a .cmt and a .cmti contributes once: exactly one
+   S6 finding for s6_deep.ml, not one per artifact *)
+let test_cmti_stability () =
+  let findings, _, _, _ = run () in
+  Alcotest.(check int) "one S6 for the mli-carrying unit" 1
+    (List.length (find "S6" "lib/workload/s6_deep.ml" findings))
+
+(* compile order must not leak into the report: a tree built in a
+   different order produces byte-identical output, and re-running on
+   the same tree is stable *)
+let test_determinism () =
+  let findings_a, _, _, stale_a = run () in
+  let findings_a2, _, _, _ = run () in
+  Alcotest.(check (list string)) "re-run is stable"
+    (List.map F.to_human findings_a) (List.map F.to_human findings_a2);
+  let root_b = compile_tree ~core_order:(List.rev default_core_order) in
+  let findings_b, _, _, stale_b = Sema_engine.run ~source_root:root_b [ root_b ] in
+  Alcotest.(check (list string)) "different compile order, same findings"
+    (List.map F.to_human findings_a) (List.map F.to_human findings_b);
+  Alcotest.(check int) "different compile order, same stale set" (List.length stale_a)
+    (List.length stale_b)
+
+(* ------------------------------------------------- cache behaviour *)
 
 let test_cache_hits () =
   let root = Lazy.force compiled in
   let cache = Filename.concat root "sema.cache" in
   if Sys.file_exists cache then Sys.remove cache;
-  let cold_findings, cold, _ = Sema_engine.run ~cache_file:cache ~source_root:root [ root ] in
+  let cold_findings, cold, _, _ = Sema_engine.run ~cache_file:cache ~source_root:root [ root ] in
   Alcotest.(check int) "cold run misses" 0 cold.Sema_engine.cache_hits;
-  let warm_findings, warm, _ = Sema_engine.run ~cache_file:cache ~source_root:root [ root ] in
+  let warm_findings, warm, _, _ = Sema_engine.run ~cache_file:cache ~source_root:root [ root ] in
   Alcotest.(check int) "warm run hits every unit" warm.Sema_engine.units
     warm.Sema_engine.cache_hits;
   Alcotest.(check (list string)) "cached analyses reproduce the findings"
     (List.map F.to_human cold_findings)
     (List.map F.to_human warm_findings)
 
+(* bumping the analyzer-version stamp must invalidate every cached
+   entry — stale caches silently skipping new rule semantics is the
+   failure mode this guards against *)
+let test_cache_stamp_invalidation () =
+  let cache = Filename.concat (Lazy.force compiled) "stamp.cache" in
+  if Sys.file_exists cache then Sys.remove cache;
+  let findings_a, cold, _, _ = run ~cache_file:cache ~stamp:"test-stamp-a" () in
+  Alcotest.(check int) "cold run misses" 0 cold.Sema_engine.cache_hits;
+  let _, warm, _, _ = run ~cache_file:cache ~stamp:"test-stamp-a" () in
+  Alcotest.(check int) "same stamp hits" warm.Sema_engine.units warm.Sema_engine.cache_hits;
+  let findings_b, bumped, _, _ = run ~cache_file:cache ~stamp:"test-stamp-b" () in
+  Alcotest.(check int) "bumped stamp misses everything" 0 bumped.Sema_engine.cache_hits;
+  Alcotest.(check (list string)) "same findings either way"
+    (List.map F.to_human findings_a) (List.map F.to_human findings_b)
+
+(* --------------------------------------------- stale suppressions *)
+
+let test_stale_suppressions () =
+  let _, _, _, stale = run () in
+  let has path line = List.exists (fun (p, l, _) -> p = path && l = line) stale in
+  Alcotest.(check bool) "unmatched comment is stale" true
+    (has "lib/core/stale_suppress.ml" 4);
+  (* comments that did suppress a finding are not stale *)
+  Alcotest.(check bool) "working S1/S4 suppressions stay" false
+    (List.exists (fun (p, _, _) -> p = "lib/core/suppressed.ml") stale);
+  Alcotest.(check bool) "working S3 suppression stays" false
+    (List.exists (fun (p, _, _) -> p = "lib/core/s3_dead.mli") stale)
+
 (* the @sema gate enforces this too, with the exe-cmt aliases that
    make S3's usage graph complete; this in-suite regression covers
-   the local rules so a mis-wired gate cannot hide them.  S3 is
-   excluded: the graph seen from here depends on build order. *)
+   the local and interprocedural rules so a mis-wired gate cannot
+   hide them.  S3 is excluded: the graph seen from here depends on
+   build order. *)
 let test_lib_is_sema_clean () =
   if Sys.file_exists "../lib" then begin
-    let findings, stats, _ = Sema_engine.run ~source_root:".." [ ".." ] in
+    let findings, stats, _, stale = Sema_engine.run ~source_root:".." [ ".." ] in
     Alcotest.(check bool) "analyzed some units" true (stats.Sema_engine.units > 0);
-    Alcotest.(check (list string)) "lib/ is sema-clean (S1/S2/S4/S5)" []
-      (List.filter (fun f -> f.F.rule <> "S3") findings |> List.map F.to_human)
+    Alcotest.(check (list string)) "lib/ is sema-clean (S1/S2/S4/S5/S6/S7)" []
+      (List.filter (fun f -> f.F.rule <> "S3") findings |> List.map F.to_human);
+    Alcotest.(check (list string)) "lib/ has no stale suppressions" []
+      (List.map (fun (p, l, t) -> Printf.sprintf "%s:%d: %s" p l t) stale)
   end
 
 let suite =
@@ -125,6 +255,14 @@ let suite =
     Alcotest.test_case "S1/S2/S4/S5 fire on violation fixtures" `Quick test_rules_fire;
     Alcotest.test_case "S3 liveness across libraries" `Quick test_s3_liveness;
     Alcotest.test_case "clean and suppressed fixtures" `Quick test_clean_and_suppressed;
+    Alcotest.test_case "S1v2 sees through callees and SCCs" `Quick test_s1v2_fires;
+    Alcotest.test_case "S6 generator purity is transitive" `Quick test_s6_fires;
+    Alcotest.test_case "S7 flags racy Pool tasks" `Quick test_s7_fires;
+    Alcotest.test_case "interprocedural demo chains" `Quick test_interproc_demo;
+    Alcotest.test_case "cmt/cmti pairs report once" `Quick test_cmti_stability;
+    Alcotest.test_case "output is build-order independent" `Quick test_determinism;
     Alcotest.test_case "incremental cache hits on re-run" `Quick test_cache_hits;
+    Alcotest.test_case "stamp bump invalidates the cache" `Quick test_cache_stamp_invalidation;
+    Alcotest.test_case "stale suppressions are reported" `Quick test_stale_suppressions;
     Alcotest.test_case "lib/ is sema-clean" `Quick test_lib_is_sema_clean;
   ]

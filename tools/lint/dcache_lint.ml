@@ -42,12 +42,16 @@ let () =
     try E.collect_ml_files (List.rev !roots) with Sys_error msg -> die "%s" msg
   in
   if files = [] then die "no .ml files under the given paths";
-  let findings, errors =
+  let findings, stale_supps, errors =
     List.fold_left
-      (fun (fs, es) file ->
-        match Lint_engine.lint_file file with Ok f -> (f @ fs, es) | Error e -> (fs, e :: es))
-      ([], []) files
+      (fun (fs, ss, es) file ->
+        match Lint_engine.lint_file_stale file with
+        | Ok (f, stale) ->
+            (f @ fs, List.rev_append (List.map (fun (l, t) -> (file, l, t)) stale) ss, es)
+        | Error e -> (fs, ss, e :: es))
+      ([], [], []) files
   in
+  let stale_supps = List.sort compare stale_supps in
   List.iter prerr_endline (List.rev errors);
   if errors <> [] then exit 2;
   let findings = List.sort F.compare findings in
@@ -86,11 +90,23 @@ let () =
         Printf.eprintf "dcache_lint: stale baseline entry (fix it or drop the line): %s\t%s\t%s\n"
           e.E.b_path e.E.b_rule e.E.b_message)
       stale;
+  let supps_bad = stale_supps <> [] in
+  if supps_bad && not !json then
+    List.iter
+      (fun (path, line, text) ->
+        Printf.eprintf "dcache_lint: stale suppression (remove me): %s:%d: %s\n"
+          (F.normalize_path path) line text)
+      stale_supps;
   let n = List.length fresh in
-  if (n > 0 || stale_bad) && not !json then
-    Printf.eprintf "dcache_lint: %d fresh finding%s, %d stale baseline entr%s in %d files\n" n
+  if (n > 0 || stale_bad || supps_bad) && not !json then
+    Printf.eprintf
+      "dcache_lint: %d fresh finding%s, %d stale baseline entr%s, %d stale suppression%s in %d \
+       files\n"
+      n
       (if n = 1 then "" else "s")
       (List.length stale)
       (if List.length stale = 1 then "y" else "ies")
+      (List.length stale_supps)
+      (if List.length stale_supps = 1 then "" else "s")
       (List.length files);
-  exit (if n > 0 || stale_bad then 1 else 0)
+  exit (if n > 0 || stale_bad || supps_bad then 1 else 0)

@@ -33,16 +33,24 @@ let default_lib_scope path =
   let normalized = F.normalize_path path in
   String.length normalized >= 4 && String.sub normalized 0 4 = "lib/"
 
-let lint_source ?lib_scope ~path source =
+let lint_source_stale ?lib_scope ~path source =
   let lib_scope = match lib_scope with Some b -> b | None -> default_lib_scope path in
   match parse ~path source with
   | Error _ as e -> e
   | Ok structure ->
-      Ok
-        (E.apply_suppressions ~marker source
-           (Lint_rules.check_structure ~lib_scope ~path structure))
+      let raw = Lint_rules.check_structure ~lib_scope ~path structure in
+      let kept, used = E.apply_suppressions_tracked ~marker source raw in
+      let stale =
+        List.filter (fun (l, _) -> not (List.mem l used)) (E.suppression_lines ~marker source)
+      in
+      Ok (kept, stale)
 
-let lint_file ?lib_scope path =
+let lint_source ?lib_scope ~path source =
+  Result.map fst (lint_source_stale ?lib_scope ~path source)
+
+let lint_file_stale ?lib_scope path =
   match E.read_file path with
   | Error _ as e -> e
-  | Ok source -> lint_source ?lib_scope ~path source
+  | Ok source -> lint_source_stale ?lib_scope ~path source
+
+let lint_file ?lib_scope path = Result.map fst (lint_file_stale ?lib_scope path)

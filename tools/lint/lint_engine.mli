@@ -16,6 +16,20 @@ val lint_source :
     whether the normalised [path] lives under [lib/].  [Error] carries
     a located syntax-error message. *)
 
+val lint_source_stale :
+  ?lib_scope:bool ->
+  path:string ->
+  string ->
+  (Report_finding.t list * (int * string) list, string) result
+(** Like {!lint_source}, but also returns the stale suppression
+    comments of [source]: every (1-based line, trimmed text) carrying
+    a [dcache-lint: allow] marker that suppressed nothing.  The driver
+    fails on these so dead suppressions cannot linger. *)
+
 val lint_file : ?lib_scope:bool -> string -> (Report_finding.t list, string) result
 (** [lint_source] on the file's contents ([Error] also covers read
     failures). *)
+
+val lint_file_stale :
+  ?lib_scope:bool -> string -> (Report_finding.t list * (int * string) list, string) result
+(** [lint_source_stale] on the file's contents. *)

@@ -26,15 +26,17 @@ let collect_ml_files roots = collect_files ~suffixes:[ ".ml" ] roots
 (* --------------------------------------------------------- suppression *)
 
 (* "<marker> allow <id> ..." with <id> the rule or "all"; hand-rolled
-   scan, Str is not linked. *)
-let suppression_allows ~marker ~rule line =
+   scan, Str is not linked.  [suppression_ids] returns the cleaned id
+   list when the line carries a suppression comment at all — the
+   stale-suppression gate needs to see rule-less matches too. *)
+let suppression_ids ~marker line =
   let rec find_from i =
     if i + String.length marker > String.length line then None
     else if String.sub line i (String.length marker) = marker then Some (i + String.length marker)
     else find_from (i + 1)
   in
   match find_from 0 with
-  | None -> false
+  | None -> None
   | Some after ->
       let rest = String.sub line after (String.length line - after) in
       let words =
@@ -43,19 +45,33 @@ let suppression_allows ~marker ~rule line =
         |> List.filter (fun w -> w <> "")
       in
       (match words with
-      | "allow" :: ids ->
-          List.exists
-            (fun id ->
-              let id =
-                String.to_seq id
-                |> Seq.take_while (fun c -> c <> '*' && c <> ')' && c <> ',')
-                |> String.of_seq
-              in
-              id = rule || id = "all")
-            ids
-      | _ -> false)
+      | "allow" :: ids when ids <> [] ->
+          Some
+            (List.map
+               (fun id ->
+                 String.to_seq id
+                 |> Seq.take_while (fun c -> c <> '*' && c <> ')' && c <> ',')
+                 |> String.of_seq)
+               ids)
+      | _ -> None)
 
-let apply_suppressions ~marker source findings =
+let suppression_allows ~marker ~rule line =
+  match suppression_ids ~marker line with
+  | None -> false
+  | Some ids -> List.exists (fun id -> id = rule || id = "all") ids
+
+let suppression_lines ~marker source =
+  String.split_on_char '\n' source
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (n, line) ->
+         match suppression_ids ~marker line with
+         | Some _ -> Some (n, String.trim line)
+         | None -> None)
+
+(* Tracked variant: besides the surviving findings, report which
+   source lines' comments actually suppressed something — the
+   stale-suppression gate is their complement. *)
+let apply_suppressions_tracked ~marker source findings =
   let lines = String.split_on_char '\n' source |> Array.of_list in
   let line_at n = if n >= 1 && n <= Array.length lines then lines.(n - 1) else "" in
   (* a comment-only line suppresses the line below it; a trailing
@@ -64,13 +80,28 @@ let apply_suppressions ~marker source findings =
     let trimmed = String.trim (line_at n) in
     String.length trimmed >= 2 && String.sub trimmed 0 2 = "(*"
   in
-  List.filter
-    (fun f ->
-      let rule = f.F.rule in
-      not
-        (suppression_allows ~marker ~rule (line_at f.F.line)
-        || (comment_only (f.F.line - 1) && suppression_allows ~marker ~rule (line_at (f.F.line - 1)))))
-    findings
+  let used = ref [] in
+  let kept =
+    List.filter
+      (fun f ->
+        let rule = f.F.rule in
+        if suppression_allows ~marker ~rule (line_at f.F.line) then begin
+          used := f.F.line :: !used;
+          false
+        end
+        else if
+          comment_only (f.F.line - 1) && suppression_allows ~marker ~rule (line_at (f.F.line - 1))
+        then begin
+          used := (f.F.line - 1) :: !used;
+          false
+        end
+        else true)
+      findings
+  in
+  (kept, List.sort_uniq Int.compare !used)
+
+let apply_suppressions ~marker source findings =
+  fst (apply_suppressions_tracked ~marker source findings)
 
 (* ------------------------------------------------------------ baseline *)
 

@@ -23,10 +23,21 @@ val suppression_allows : marker:string -> rule:string -> string -> bool
 (** Does this source line carry "<marker> allow <rule>" (or
     "allow all")? *)
 
+val suppression_lines : marker:string -> string -> (int * string) list
+(** Every (1-based line, trimmed text) in [source] carrying a
+    "<marker> allow ..." comment, whatever rules it names.  The
+    stale-suppression gate compares this against the lines
+    {!apply_suppressions_tracked} reports as used. *)
+
 val apply_suppressions : marker:string -> string -> Report_finding.t list -> Report_finding.t list
 (** [apply_suppressions ~marker source findings] drops findings
     suppressed by a comment on their own line or on a comment-only
     line directly above. *)
+
+val apply_suppressions_tracked :
+  marker:string -> string -> Report_finding.t list -> Report_finding.t list * int list
+(** Like {!apply_suppressions}, but also returns the sorted source
+    lines whose comments suppressed at least one finding. *)
 
 (** {1 Baseline} *)
 

@@ -7,11 +7,12 @@
 
    PATHs are build directories walked recursively for .cmt/.cmti
    files (typically _build/default, or ../.. from inside the dune
-   rule).  Every unit found contributes to the cross-module usage
-   graph; findings are only reported for source paths under --scope
-   (default lib/).  Exit status mirrors dcache_lint: 0 clean, 1 fresh
-   findings or stale baseline entries, 2 usage or I/O errors.  See
-   docs/STATIC_ANALYSIS.md for the S-rule catalog. *)
+   rule).  Every unit found contributes to the cross-module usage and
+   call graphs; findings are only reported for source paths under
+   --scope (default lib/).  Exit status mirrors dcache_lint: 0 clean,
+   1 fresh findings, stale baseline entries, or stale suppression
+   comments, 2 usage or I/O errors.  See docs/STATIC_ANALYSIS.md for
+   the S-rule catalog. *)
 
 module F = Report_finding
 module E = Report_engine
@@ -47,7 +48,9 @@ let spec =
     ( "--scope",
       Arg.Set_string scope,
       "PREFIX Report findings only for source paths under PREFIX; default lib/" );
-    ("--stats", Arg.Set show_stats, " Print unit and cache-hit counts to stderr");
+    ( "--stats",
+      Arg.Set show_stats,
+      " Print unit/cache-hit counts, per-rule finding counts and wall time to stderr" );
   ]
 
 let usage = "dcache_sema [options] BUILD_PATH..."
@@ -57,20 +60,36 @@ let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("dcache_sema: " ^ msg);
 let () =
   Arg.parse (Arg.align spec) (fun p -> roots := p :: !roots) usage;
   if !roots = [] then die "no paths given (try: dcache_sema _build/default)";
-  let findings, stats, errors =
+  let t0 = Unix.gettimeofday () in
+  let findings, stats, errors, stale_supps =
     try
       Sema_engine.run
         ?cache_file:(if !cache_file = "" then None else Some !cache_file)
         ~scope:!scope ~source_root:!source_root (List.rev !roots)
     with Sys_error msg -> die "%s" msg
   in
+  let elapsed = Unix.gettimeofday () -. t0 in
   List.iter prerr_endline errors;
   if errors <> [] then exit 2;
   if stats.Sema_engine.units = 0 then
     die "no .cmt files under the given paths (build the tree first: dune build @check)";
-  if !show_stats then
-    Printf.eprintf "dcache_sema: %d units, %d cache hits\n%!" stats.Sema_engine.units
+  if !show_stats then begin
+    (* bench/sema_bench.ml scrapes this exact line: keep it verbatim *)
+    Printf.eprintf "dcache_sema: %d units, %d cache hits\n" stats.Sema_engine.units
       stats.Sema_engine.cache_hits;
+    let by_rule = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+        let r = f.F.rule in
+        Hashtbl.replace by_rule r (1 + Option.value ~default:0 (Hashtbl.find_opt by_rule r)))
+      findings;
+    List.iter
+      (fun (rule, _) ->
+        let n = Option.value ~default:0 (Hashtbl.find_opt by_rule rule) in
+        Printf.eprintf "dcache_sema:   %s: %d finding%s\n" rule n (if n = 1 then "" else "s"))
+      Sema_rules.catalog;
+    Printf.eprintf "dcache_sema: analysis took %.3fs\n%!" elapsed
+  end;
   if !update_baseline then begin
     if !baseline_file = "" then die "--update-baseline requires --baseline FILE";
     let header =
@@ -93,7 +112,7 @@ let () =
   if !sarif_file <> "" then
     Out_channel.with_open_bin !sarif_file (fun oc ->
         Out_channel.output_string oc
-          (Report_sarif.render ~tool_name:"dcache_sema" ~tool_version:"1"
+          (Report_sarif.render ~tool_name:"dcache_sema" ~tool_version:Sema_rules.analyzer_version
              ~rules:Sema_rules.catalog fresh));
   if !json then print_endline (F.to_json fresh)
   else List.iter (fun f -> print_endline (F.to_human f)) fresh;
@@ -104,11 +123,22 @@ let () =
         Printf.eprintf "dcache_sema: stale baseline entry (fix it or drop the line): %s\t%s\t%s\n"
           e.E.b_path e.E.b_rule e.E.b_message)
       stale;
+  let supps_bad = !stale_check && stale_supps <> [] in
+  if supps_bad && not !json then
+    List.iter
+      (fun (path, line, text) ->
+        Printf.eprintf "dcache_sema: stale suppression (remove me): %s:%d: %s\n" path line text)
+      stale_supps;
   let n = List.length fresh in
-  if (n > 0 || stale_bad) && not !json then
-    Printf.eprintf "dcache_sema: %d fresh finding%s, %d stale baseline entr%s in %d units\n" n
+  if (n > 0 || stale_bad || supps_bad) && not !json then
+    Printf.eprintf
+      "dcache_sema: %d fresh finding%s, %d stale baseline entr%s, %d stale suppression%s in %d \
+       units\n"
+      n
       (if n = 1 then "" else "s")
       (List.length stale)
       (if List.length stale = 1 then "y" else "ies")
+      (List.length stale_supps)
+      (if List.length stale_supps = 1 then "" else "s")
       stats.Sema_engine.units;
-  exit (if n > 0 || stale_bad then 1 else 0)
+  exit (if n > 0 || stale_bad || supps_bad then 1 else 0)

@@ -1,16 +1,22 @@
 (* Digest-keyed incremental cache.
 
-   One entry per cmt file: the digest covers the cmt, its cmti, and
-   the source files suppression comments are read from, so any edit —
-   code, interface, or a suppression comment — invalidates exactly
-   that unit.  The payload is the per-unit analysis (local findings
-   post-suppression plus the export/use sets S3 is assembled from);
-   the cross-module S3 join is recomputed every run from cached parts,
-   which is why it can be cached per-file at all. *)
+   One entry per cmt file, keyed by a digest of the analyzer-version
+   stamp plus the unit's binary artifacts, so both a source edit and a
+   rules update invalidate exactly what they should.  The payload is
+   the per-unit analysis: raw (pre-suppression) local findings, the
+   export/use sets S3 is assembled from, and the unit's call graph.
+   Every cross-module join — S3 liveness, the effect/allocation
+   summary fixpoint behind S1v2/S6/S7, and suppression tracking — is
+   recomputed each run from cached parts, which is why the cache can
+   be per-file at all.
+
+   [version] guards the Marshal format; the rule-semantics stamp is
+   [Sema_rules.analyzer_version], folded into each entry's digest by
+   the engine. *)
 
 type entry = { digest : string; analysis : Sema_rules.unit_analysis }
 
-let version = 3
+let version = 4
 
 let digest_of_files paths =
   paths

@@ -5,12 +5,19 @@ let marker = "dcache-sema:"
 
 type stats = { units : int; cache_hits : int }
 
+(* A stale suppression: a "dcache-sema: allow" comment that suppressed
+   nothing this run.  (normalized path, line, trimmed comment text). *)
+type stale = string * int * string
+
 (* ------------------------------------------------------- suppression *)
 
 (* Findings of one unit can anchor in two files (.ml for S1/S4, .mli
    for S2/S3); suppression comments are read from whichever file a
-   finding points at, resolved against [source_root]. *)
-let suppress ~source_root findings =
+   finding points at, resolved against [source_root].  Suppression is
+   applied here at engine time — the cache stores raw findings — so
+   which comments actually fired is known each run and their
+   complement is the stale set. *)
+let suppress_tracked ~source_root findings =
   let sources = Hashtbl.create 8 in
   let source_for path =
     match Hashtbl.find_opt sources path with
@@ -24,49 +31,97 @@ let suppress ~source_root findings =
         Hashtbl.add sources path s;
         s
   in
-  List.filter
-    (fun f ->
-      match source_for f.F.path with
-      | None -> true
-      | Some source -> E.apply_suppressions ~marker source [ f ] <> [])
-    findings
+  let used = ref [] in
+  let kept =
+    List.filter
+      (fun f ->
+        match source_for f.F.path with
+        | None -> true
+        | Some source ->
+            let survivors, lines = E.apply_suppressions_tracked ~marker source [ f ] in
+            List.iter (fun l -> used := (f.F.path, l) :: !used) lines;
+            survivors <> [])
+      findings
+  in
+  (kept, List.sort_uniq compare !used)
+
+(* Every in-scope suppression comment that fired for no finding must
+   go: it either outlived its finding or never matched one.  The scan
+   walks the source tree directly so comments in finding-free files
+   are caught too. *)
+let stale_suppressions ~source_root ~scope ~used =
+  let dir = Filename.concat source_root scope in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    let prefix = source_root ^ Filename.dir_sep in
+    let rel path =
+      let path =
+        if String.length path > String.length prefix && String.sub path 0 (String.length prefix) = prefix
+        then String.sub path (String.length prefix) (String.length path - String.length prefix)
+        else path
+      in
+      F.normalize_path path
+    in
+    E.collect_files ~suffixes:[ ".ml"; ".mli" ] [ dir ]
+    |> List.concat_map (fun path ->
+           match E.read_file path with
+           | Error _ -> []
+           | Ok source ->
+               let r = rel path in
+               E.suppression_lines ~marker source
+               |> List.filter_map (fun (line, text) ->
+                      if List.mem (r, line) used then None else Some (r, line, text)))
 
 (* ------------------------------------------------------ per-unit step *)
 
 let unit_name_of_source ml_source =
   String.capitalize_ascii (Filename.remove_extension (Filename.basename ml_source))
 
-let analyze_unit ~source_root (info : Sema_cmt.unit_info) =
+let analyze_unit (info : Sema_cmt.unit_info) =
   match Sema_cmt.decode_unit info with
   | Error _ as e -> e
-  | Ok None -> Ok { Sema_rules.ua_findings = []; ua_exports = []; ua_uses = [] }
+  | Ok None ->
+      Ok
+        {
+          Sema_rules.ua_findings = [];
+          ua_exports = [];
+          ua_uses = [];
+          ua_graph = Callgraph.empty_graph;
+        }
   | Ok (Some decoded) ->
       let exports_with_docs =
         match (decoded.intf, decoded.mli_source) with
         | Some sg, Some mli_path -> Sema_rules.exports_of_interface ~mli_path sg
         | _ -> []
       in
-      let findings, uses =
+      let findings, uses, graph =
         match decoded.impl with
-        | None -> ([], [])
+        | None -> ([], [], Callgraph.empty_graph)
         | Some structure ->
-            Sema_rules.check_implementation ~ml_path:decoded.ml_source
-              ~mli_vals:exports_with_docs structure
+            let findings, uses =
+              Sema_rules.check_implementation ~ml_path:decoded.ml_source
+                ~mli_vals:exports_with_docs structure
+            in
+            let unit_name = Sema_rules.strip_mangling (unit_name_of_source decoded.ml_source) in
+            (findings, uses, Callgraph.extract ~unit_name ~ml_path:decoded.ml_source structure)
       in
       Ok
         {
-          Sema_rules.ua_findings = suppress ~source_root findings;
+          Sema_rules.ua_findings = findings;
           ua_exports = List.map (fun (n, l, p, _doc) -> (n, l, p)) exports_with_docs;
           ua_uses = uses;
+          ua_graph = graph;
         }
 
-(* The digest covers the unit's cmt and cmti only: any source edit —
-   including a comment-only suppression edit — recompiles the cmt
-   (its header embeds the source digest), so hashing the binary
-   artifacts alone keys the cache without decoding anything on the
-   hit path. *)
-let unit_digest (info : Sema_cmt.unit_info) =
-  Sema_cache.digest_of_files (info.cmt_path :: Option.to_list info.cmti_path)
+(* The digest covers the analyzer-version stamp plus the unit's cmt
+   and cmti: any source edit — including a comment-only suppression
+   edit — recompiles the cmt (its header embeds the source digest), so
+   hashing the binary artifacts keys the cache without decoding
+   anything on the hit path, and bumping the stamp invalidates every
+   entry at once when rule semantics change. *)
+let unit_digest ~stamp (info : Sema_cmt.unit_info) =
+  Digest.string
+    (stamp ^ Sema_cache.digest_of_files (info.cmt_path :: Option.to_list info.cmti_path))
 
 (* ----------------------------------------------------------- S3 join *)
 
@@ -110,7 +165,7 @@ let s3_findings ~scope units =
 
 (* --------------------------------------------------------------- run *)
 
-let run ?cache_file ?(scope = "lib/") ~source_root roots =
+let run ?cache_file ?(scope = "lib/") ?(stamp = Sema_rules.analyzer_version) ~source_root roots =
   let infos = Sema_cmt.scan_units roots in
   let cache = match cache_file with None -> [] | Some f -> Sema_cache.load f in
   let hits = ref 0 in
@@ -118,7 +173,7 @@ let run ?cache_file ?(scope = "lib/") ~source_root roots =
   let units, cache' =
     List.fold_left
       (fun (units, cache') info ->
-        let digest = unit_digest info in
+        let digest = unit_digest ~stamp info in
         let cached =
           match List.assoc_opt info.Sema_cmt.cmt_path cache with
           | Some entry when entry.Sema_cache.digest = digest -> Some entry.Sema_cache.analysis
@@ -130,7 +185,7 @@ let run ?cache_file ?(scope = "lib/") ~source_root roots =
               incr hits;
               Some a
           | None -> (
-              match analyze_unit ~source_root info with
+              match analyze_unit info with
               | Ok a -> Some a
               | Error e ->
                   errors := e :: !errors;
@@ -152,6 +207,19 @@ let run ?cache_file ?(scope = "lib/") ~source_root roots =
         List.filter (fun f -> has_prefix scope f.F.path) ua.ua_findings)
       units
   in
-  let s3 = suppress ~source_root (s3_findings ~scope units) in
-  let findings = List.sort_uniq F.compare (local @ s3) in
-  (findings, { units = List.length units; cache_hits = !hits }, List.rev !errors)
+  let s3 = s3_findings ~scope units in
+  (* the interprocedural rules: every unit's graph joins the summary —
+     out-of-scope callees propagate facts — but findings only anchor
+     in scoped files *)
+  let graphs =
+    List.map (fun (_, (ua : Sema_rules.unit_analysis), _) -> ua.ua_graph) units
+  in
+  let summary = Summary.build graphs in
+  let interproc =
+    Sema_interproc.findings summary graphs
+    |> List.filter (fun f -> has_prefix scope f.F.path)
+  in
+  let raw = List.sort_uniq F.compare (local @ s3 @ interproc) in
+  let findings, used = suppress_tracked ~source_root raw in
+  let stale = stale_suppressions ~source_root ~scope ~used in
+  (findings, { units = List.length units; cache_hits = !hits }, List.rev !errors, stale)

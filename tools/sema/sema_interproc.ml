@@ -1,0 +1,168 @@
+(* The interprocedural rules, computed from [Summary] over the cached
+   per-unit graphs:
+
+   - S1 (v2, escape): a call from a [@@hot] loop body to any function
+     whose summary allocates, or to a known-allocating stdlib builtin.
+     Complements the local S1 scan, which only sees allocations
+     spelled out in the loop itself.
+   - S6 (purity): a lib/workload generator — a function threading an
+     [Rng.t], a [~seed], or named [generate*] — must be a
+     deterministic function of (seed, spec) transitively through its
+     callees.
+   - S7 (domain-safety): a task passed to [Pool.parallel_init] /
+     [parallel_map] that mutates captured or module-level state
+     without a [Mutex] races across domains. *)
+
+module F = Report_finding
+module C = Callgraph
+module S = Summary
+
+let alloc_pred f = f.C.f_alloc
+
+let not_hot (n : C.node) = not n.C.nd_hot
+
+(* ---------------------------------------------------------------- S1 v2 *)
+
+let s1v2 summary (g : C.unit_graph) =
+  (* one finding per (hot function, callee): the first call site in
+     source order speaks for every repeat of the same delegation *)
+  let sites =
+    List.sort
+      (fun (a : C.hot_site) (b : C.hot_site) ->
+        compare (a.C.hs_fn, a.C.hs_line, a.C.hs_col) (b.C.hs_fn, b.C.hs_line, b.C.hs_col))
+      g.C.ug_hot_sites
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (site : C.hot_site) ->
+      let repr =
+        match site.C.hs_builtin with
+        | Some k -> Some k
+        | None -> ( match site.C.hs_callee with k :: _ -> Some k | [] -> None)
+      in
+      match repr with
+      | None -> None
+      | Some repr ->
+          if Hashtbl.mem seen (site.C.hs_fn, repr) then None
+          else begin
+            Hashtbl.replace seen (site.C.hs_fn, repr) ();
+            match site.C.hs_builtin with
+            | Some (m, fn) ->
+                Some
+                  (F.v ~path:g.C.ug_path ~line:site.C.hs_line ~col:site.C.hs_col ~rule:"S1"
+                     (Printf.sprintf
+                        "`%s.%s` in the hot loop of `%s` allocates per iteration: hoist it out \
+                         or reuse a preallocated buffer"
+                        m fn site.C.hs_fn))
+            | None -> (
+                match S.find summary site.C.hs_callee with
+                | Some e when not_hot e.S.e_node && e.S.e_facts.C.f_alloc ->
+                    let chain =
+                      S.witness summary
+                        ~root:e.S.e_node.C.nd_key
+                        ~through:not_hot ~pred:alloc_pred
+                    in
+                    Some
+                      (F.v ~path:g.C.ug_path ~line:site.C.hs_line ~col:site.C.hs_col ~rule:"S1"
+                         (Printf.sprintf
+                            "call in the hot loop of `%s` allocates per iteration (via %s): \
+                             hoist the allocation or restructure the callee"
+                            site.C.hs_fn chain))
+                | _ -> None)
+          end)
+    sites
+
+(* ------------------------------------------------------------------- S6 *)
+
+(* severity-ordered: the first dirty fact names the finding *)
+let s6_breaches =
+  [
+    ((fun f -> f.C.f_random), "draws from ambient `Stdlib.Random`");
+    ((fun f -> f.C.f_unix), "performs `Unix` I/O");
+    ((fun f -> f.C.f_sys), "reads ambient `Sys` state");
+    ((fun f -> f.C.f_unordered), "traverses a `Hashtbl` in unspecified order");
+    ((fun f -> f.C.f_gwrite), "writes module-level mutable state");
+    ((fun f -> f.C.f_gread), "reads module-level mutable state");
+  ]
+
+let s6 summary (g : C.unit_graph) =
+  List.filter_map
+    (fun (n : C.node) ->
+      if not n.C.nd_candidate then None
+      else
+        match S.find summary [ n.C.nd_key ] with
+        | None -> None
+        | Some e ->
+            List.find_map
+              (fun (pred, what) ->
+                if not (pred e.S.e_facts) then None
+                else
+                  let chain =
+                    S.witness summary ~root:n.C.nd_key ~through:(fun _ -> true) ~pred
+                  in
+                  Some
+                    (F.v ~path:g.C.ug_path ~line:n.C.nd_line ~col:0 ~rule:"S6"
+                       (Printf.sprintf
+                          "generator `%s` must be a deterministic function of (seed, spec) but \
+                           %s (via %s): thread the effect through `Rng`/the spec instead"
+                          (snd n.C.nd_key) what chain)))
+              s6_breaches)
+    g.C.ug_nodes
+
+(* ------------------------------------------------------------------- S7 *)
+
+let racy_callee summary ~guarded calls =
+  if guarded then None
+  else
+    List.find_map
+      (fun alts ->
+        match S.find summary alts with
+        | Some e when e.S.e_facts.C.f_gwrite && not e.S.e_facts.C.f_mutex ->
+            Some
+              ( S.pp_key e.S.e_node.C.nd_key,
+                S.witness summary ~root:e.S.e_node.C.nd_key
+                  ~through:(fun _ -> true)
+                  ~pred:(fun f -> f.C.f_gwrite) )
+        | _ -> None)
+      calls
+
+let s7 summary (g : C.unit_graph) =
+  List.filter_map
+    (fun (site : C.pool_site) ->
+      let mk fmt =
+        Printf.ksprintf
+          (fun msg -> F.v ~path:g.C.ug_path ~line:site.C.ps_line ~col:site.C.ps_col ~rule:"S7" msg)
+          fmt
+      in
+      match site.C.ps_task with
+      | C.Closure { tk_writes = w :: _; tk_mutex = false; _ } ->
+          Some
+            (mk
+               "task closure passed to `Pool.%s` mutates captured %s `%s` without a `Mutex`: \
+                shared mutable state races across domains — use `Atomic`, give each task its own \
+                slot, or guard the write with a lock"
+               site.C.ps_fn w.C.cap_kind w.C.cap_name)
+      | C.Closure { tk_writes = _; tk_mutex; tk_calls } -> (
+          match racy_callee summary ~guarded:tk_mutex tk_calls with
+          | Some (callee, chain) ->
+              Some
+                (mk
+                   "task closure passed to `Pool.%s` calls `%s`, which writes module-level \
+                    mutable state without a `Mutex` (via %s): shared writes race across domains"
+                   site.C.ps_fn callee chain)
+          | None -> None)
+      | C.Named alts -> (
+          match racy_callee summary ~guarded:false [ alts ] with
+          | Some (callee, chain) ->
+              Some
+                (mk
+                   "task `%s` passed to `Pool.%s` writes module-level mutable state without a \
+                    `Mutex` (via %s): shared writes race across domains"
+                   callee site.C.ps_fn chain)
+          | None -> None))
+    g.C.ug_pool_sites
+
+(* ------------------------------------------------------------------ all *)
+
+let findings summary graphs =
+  List.concat_map (fun g -> s1v2 summary g @ s6 summary g @ s7 summary g) graphs

@@ -1,64 +1,63 @@
 (* The S-rules: typed checks over one compilation unit's Typedtree,
    read back from the .cmt/.cmti files dune produces with -bin-annot.
 
-   Everything here is intraprocedural and syntactic-over-types: rules
-   look at what an expression *is* (its type, its path after module
-   aliasing was resolved by the typechecker), not at what callees do.
-   docs/STATIC_ANALYSIS.md documents the limits. *)
+   Everything in this module is intraprocedural and syntactic-over-
+   types: rules look at what an expression *is* (its type, its path
+   after module aliasing was resolved by the typechecker), not at what
+   callees do.  Cross-function behaviour lives in the summary layer
+   ([Callgraph] + [Summary] + [Sema_interproc]), which powers S1's
+   escape check, S6 and S7.  docs/STATIC_ANALYSIS.md documents the
+   split and the limits. *)
 
 open Typedtree
 module F = Report_finding
 
+(* Bumped on any rule or summary change: the engine folds it into
+   every unit digest, so a rules update invalidates the incremental
+   cache wholesale and stale cached analyses cannot mask new
+   findings. *)
+let analyzer_version = "6"
+
 let catalog =
   [
     ( "S1",
-      "hot-path allocation: closures, tuples, lists, arrays or boxed floats in [@@hot] loops; \
-       copying Array builtins anywhere in a [@@hot] body" );
+      "hot-path allocation: closures, tuples, lists, arrays or boxed floats in [@@hot] loops \
+       (including, via call-graph summaries, allocations hidden in callees); copying Array \
+       builtins anywhere in a [@@hot] body" );
     ("S2", "exception escape: undocumented exceptions escaping public lib/core / lib/baselines values");
     ("S3", "dead export: .mli value never referenced outside its own library");
     ("S4", "numeric stability: float cost accumulator folded with bare +. in a loop");
     ( "S5",
       "observability discipline: a Recording sink constructed, or a Recorder ring / Prometheus \
        endpoint created, inside a [@@hot] body" );
+    ( "S6",
+      "generator purity: a lib/workload generator must be a deterministic function of \
+       (seed, spec), transitively through its callees" );
+    ( "S7",
+      "domain safety: a task passed to Pool.parallel_init/parallel_map must not mutate captured \
+       or module-level state without a Mutex" );
   ]
 
-(* The per-unit result the engine caches (keyed by cmt+source digest):
-   local findings are post-suppression; S3 is assembled globally from
-   [exports]/[uses] afterwards. *)
+(* The per-unit result the engine caches (keyed by stamp+cmt digest):
+   local findings are raw (pre-suppression — the engine applies and
+   tracks suppressions each run, which is what lets it flag stale
+   ones); S3 and the interprocedural rules are assembled globally from
+   [exports]/[uses]/[graph] afterwards. *)
 type unit_analysis = {
   ua_findings : F.t list;
   ua_exports : (string * int * string) list;  (* value, .mli line, .mli path *)
   ua_uses : (string * string) list;  (* (unit, value) referenced via a module path *)
+  ua_graph : Callgraph.unit_graph;
 }
 
 (* ---------------------------------------------------------------- paths *)
 
 (* Last path component and the enclosing module, with dune's
    [lib__Unit] name mangling stripped so [Dcache_core__Streaming_dp.push]
-   and [Dcache_core.Streaming_dp.push] both key as (Streaming_dp, push). *)
-let strip_mangling name =
-  let n = String.length name in
-  let rec last_sep i =
-    if i < 0 then None
-    else if i + 1 < n && name.[i] = '_' && name.[i + 1] = '_' then Some i
-    else last_sep (i - 1)
-  in
-  match last_sep (n - 2) with
-  | Some i -> String.sub name (i + 2) (n - i - 2)
-  | None -> name
-
-let use_of_path p =
-  match p with
-  | Path.Pdot (prefix, value) ->
-      let head = function
-        | Path.Pident id -> Some (Ident.name id)
-        | Path.Pdot (_, name) -> Some name
-        | Path.Papply _ | Path.Pextra_ty _ -> None
-      in
-      (match head prefix with
-      | Some unit_name -> Some (strip_mangling unit_name, value)
-      | None -> None)
-  | Path.Pident _ | Path.Papply _ | Path.Pextra_ty _ -> None
+   and [Dcache_core.Streaming_dp.push] both key as (Streaming_dp, push).
+   Shared with the call-graph layer. *)
+let strip_mangling = Callgraph.strip_mangling
+let use_of_path = Callgraph.use_of_path
 
 let path_is p full =
   (* [full] like "Stdlib.raise"; Path.name prints without stamps *)

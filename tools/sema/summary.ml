@@ -1,0 +1,135 @@
+(* Whole-program summaries: the transitive closure of each node's
+   facts over the call graph.
+
+   The join is a boolean-lattice worklist fixpoint — facts only ever
+   gain bits, so iterating to stability handles mutually recursive
+   SCCs without computing them explicitly.  Iteration walks a sorted
+   key list (never Hashtbl order) so the result is bit-identical
+   whatever order the cmts were produced or scanned in.
+
+   One deliberate cutoff: allocation does not propagate *through*
+   [@@hot] callees.  A hot function is already certified allocation-
+   disciplined by the local S1 pass and the perf gate, so a hot caller
+   delegating to [Streaming_dp.push] is not re-charged for push's
+   amortised internals.  Ambient effects still flow through hot
+   callees unchanged. *)
+
+module C = Callgraph
+
+type entry = {
+  e_node : C.node;
+  e_callees : C.key list list;
+  mutable e_facts : C.facts;  (* transitive *)
+}
+
+type t = { entries : (C.key, entry) Hashtbl.t; order : C.key list }
+
+let find t alternatives = List.find_map (fun k -> Hashtbl.find_opt t.entries k) alternatives
+
+(* key collisions (same (module, name) in two units, e.g. the [main]
+   of several executables) merge conservatively: facts and edges
+   union, hot if either side was *)
+let merge a b =
+  {
+    e_node =
+      {
+        a.e_node with
+        C.nd_hot = a.e_node.C.nd_hot || b.C.nd_hot;
+        nd_facts = C.union a.e_node.C.nd_facts b.C.nd_facts;
+        nd_candidate = a.e_node.C.nd_candidate || b.C.nd_candidate;
+      };
+    e_callees = a.e_callees @ b.C.nd_calls;
+    e_facts = C.no_facts;
+  }
+
+let build graphs =
+  let entries = Hashtbl.create 1024 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun (n : C.node) ->
+          let e =
+            match Hashtbl.find_opt entries n.C.nd_key with
+            | Some prev -> merge prev n
+            | None -> { e_node = n; e_callees = n.C.nd_calls; e_facts = C.no_facts }
+          in
+          Hashtbl.replace entries n.C.nd_key e)
+        g.C.ug_nodes)
+    graphs;
+  let order =
+    List.concat_map (fun g -> List.map (fun (n : C.node) -> n.C.nd_key) g.C.ug_nodes) graphs
+    |> List.sort_uniq compare
+  in
+  let t = { entries; order } in
+  List.iter
+    (fun k -> match Hashtbl.find_opt entries k with
+      | Some e -> e.e_facts <- e.e_node.C.nd_facts
+      | None -> ())
+    order;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt entries k with
+        | None -> ()
+        | Some e ->
+            let nf =
+              List.fold_left
+                (fun acc alts ->
+                  match find t alts with
+                  | None -> acc
+                  | Some ce ->
+                      let inherited =
+                        if ce.e_node.C.nd_hot then { ce.e_facts with C.f_alloc = false }
+                        else ce.e_facts
+                      in
+                      C.union acc inherited)
+                e.e_facts e.e_callees
+            in
+            if nf <> e.e_facts then begin
+              e.e_facts <- nf;
+              changed := true
+            end)
+      t.order
+  done;
+  t
+
+(* ------------------------------------------------------------- witnesses *)
+
+let pp_key (m, v) = m ^ "." ^ v
+
+(* Shortest call chain from [root] to a node whose *local* facts
+   satisfy [pred]: BFS in recorded-edge order, which is syntactic and
+   therefore deterministic.  [through] prunes edges the fixpoint also
+   ignored (the hot-callee allocation cutoff). *)
+let witness t ~root ~through ~pred =
+  let seen = Hashtbl.create 64 in
+  let rec bfs = function
+    | [] -> None
+    | (key, path) :: rest -> (
+        if Hashtbl.mem seen key then bfs rest
+        else begin
+          Hashtbl.replace seen key ();
+          match Hashtbl.find_opt t.entries key with
+          | None -> bfs rest
+          | Some e ->
+              let path = key :: path in
+              if pred e.e_node.C.nd_facts then Some (List.rev path)
+              else
+                let next =
+                  List.filter_map
+                    (fun alts ->
+                      match find t alts with
+                      | Some ce when through ce.e_node ->
+                          List.find_opt (fun k -> Hashtbl.mem t.entries k) alts
+                          |> Option.map (fun k -> (k, path))
+                      | _ -> None)
+                    e.e_callees
+                in
+                bfs (rest @ next)
+        end)
+  in
+  match bfs [ (root, []) ] with
+  | Some keys -> String.concat " -> " (List.map pp_key keys)
+  | None -> pp_key root
