@@ -36,7 +36,9 @@ val make_costs_exn : mu:float array -> lambda:float array array -> costs
 
 val of_homogeneous : Cost_model.t -> m:int -> costs
 (** Uniform matrix; {!solve} then agrees with
-    {!Dcache_core.Offline_dp} (property-tested). *)
+    {!Dcache_core.Offline_dp} (property-tested).
+    @raise Invalid_argument if the cost model is invalid for [m]
+    servers ({!make_costs_exn}'s conditions). *)
 
 val num_servers : costs -> int
 
@@ -57,7 +59,8 @@ val solve : costs -> Sequence.t -> float
 val solve_schedule : costs -> Sequence.t -> float * Schedule.t
 (** Optimal cost plus a witness schedule (feasible per
     {!Dcache_core.Schedule.validate}; multi-hop transfers are emitted
-    as their direct closed-price edge). *)
+    as their direct closed-price edge).
+    @raise Invalid_argument under the same conditions as {!solve}. *)
 
 val price : costs -> Schedule.t -> float
 (** Prices an arbitrary schedule under the heterogeneous rates (used

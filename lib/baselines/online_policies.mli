@@ -42,24 +42,34 @@ val classic_lru : capacity:int -> Cost_model.t -> Sequence.t -> outcome
 val sc : ?epoch_size:int -> Cost_model.t -> Sequence.t -> outcome
 (** The paper's speculative caching, via {!Online_sc.run}, wrapped in
     the same interface (its schedule comes from
-    {!Online_sc.schedule_of_run}). *)
+    {!Online_sc.schedule_of_run}).
+    @raise Invalid_argument if [epoch_size < 1]
+    ({!Online_sc.run}'s condition). *)
 
 val sc_with_window : window:float -> Cost_model.t -> Sequence.t -> outcome
-(** SC with an overridden speculative window (ablation E10). *)
+(** SC with an overridden speculative window (ablation E10).
+    @raise Invalid_argument if the window is not positive
+    ({!Online_sc.run}'s condition). *)
 
 val randomized_sc :
   rng:Dcache_prelude.Rng.t -> Cost_model.t -> Sequence.t -> outcome
 (** SC with a window drawn once per run from the exponential-density
     distribution of randomized ski rental ([f(x) = e^x / (e - 1)] on
     [\[0, 1\]], scaled by [lambda / mu]).  An extension beyond the
-    paper, documented in DESIGN.md section 8. *)
+    paper, documented in DESIGN.md section 8.
+    @raise Invalid_argument if the drawn window is not positive
+    ({!Online_sc.run}'s condition, unreachable for valid models). *)
 
 val randomized_sc_per_copy :
   rng:Dcache_prelude.Rng.t -> Cost_model.t -> Sequence.t -> outcome
 (** SC with an independent ski-rental window drawn at {e every copy
     refresh} (the faithful randomized-ski-rental adaptation, compared
-    to {!randomized_sc}'s one draw per run). *)
+    to {!randomized_sc}'s one draw per run).
+    @raise Invalid_argument if a drawn window is not positive
+    ({!Online_sc.run}'s condition, unreachable for valid models). *)
 
 val all_deterministic :
   ?lru_capacity:int -> Cost_model.t -> Sequence.t -> outcome list
-(** Every deterministic policy above, for comparison tables. *)
+(** Every deterministic policy above, for comparison tables.
+    @raise Invalid_argument if [lru_capacity < 1]
+    ({!classic_lru}'s condition). *)

@@ -35,4 +35,5 @@ val solve : ?max_copies:int -> Cost_model.t -> Sequence.t -> float
 val solve_schedule : Cost_model.t -> Sequence.t -> float * Schedule.t
 (** Optimal cost plus one optimal schedule reconstructed from the
     subset-DP argmins (used to cross-check the validator and
-    standard-form claims on an independent witness). *)
+    standard-form claims on an independent witness).
+    @raise Invalid_argument under the same conditions as {!solve}. *)

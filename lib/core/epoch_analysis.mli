@@ -22,7 +22,9 @@ type epoch = {
 
 val analyse : epoch_size:int -> Cost_model.t -> Sequence.t -> epoch list
 (** Runs SC with the given epoch size and decomposes.  The epoch costs
-    sum to the run's total (up to rounding; asserted in tests). *)
+    sum to the run's total (up to rounding; asserted in tests).
+    @raise Invalid_argument if [epoch_size < 1]
+    ({!Online_sc.run}'s condition). *)
 
 val max_ratio : epoch list -> float
 (** Largest finite per-epoch ratio; [0.] if none. *)

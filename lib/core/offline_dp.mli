@@ -26,23 +26,34 @@
 type t
 
 val solve : Cost_model.t -> Sequence.t -> t
-(** Runs the sweep.  [O(mn)] time and space. *)
+(** Runs the sweep.  [O(mn)] time and space.
+    @raise Invalid_argument if the model/sequence pair is invalid
+    ({!Streaming_dp.create}'s and [push]'s conditions). *)
 
 val cost : t -> float
 (** [C(n)]: the optimal total service cost [Pi(Psi^*(n))]. *)
 
 val c : t -> float array
-(** The vector [C(0) .. C(n)]. *)
+(** The vector [C(0) .. C(n)].
+    @raise Invalid_argument on an out-of-range internal index
+    ({!Streaming_dp}'s bound checks; unreachable for a {!solve}
+    result). *)
 
 val d : t -> float array
 (** The vector [D(0) .. D(n)] ([D(i) = infinity] for the first request
-    on each server). *)
+    on each server).
+    @raise Invalid_argument on an out-of-range internal index
+    (unreachable for a {!solve} result). *)
 
 val marginal_bounds : t -> float array
-(** [b_1 .. b_n] (index 0 unused, [0.]). *)
+(** [b_1 .. b_n] (index 0 unused, [0.]).
+    @raise Invalid_argument on an out-of-range internal index
+    (unreachable for a {!solve} result). *)
 
 val running_bounds : t -> float array
-(** [B_0 .. B_n]. *)
+(** [B_0 .. B_n].
+    @raise Invalid_argument on an out-of-range internal index
+    (unreachable for a {!solve} result). *)
 
 val schedule : t -> Schedule.t
 (** Reconstructs an optimal schedule by backtracking the stored
@@ -52,4 +63,6 @@ val schedule : t -> Schedule.t
 
 val pivot_of : t -> int -> int option
 (** For introspection/tests: the pivot index [kappa] chosen for
-    [D(i)], if [D(i)] was obtained through Lemma 4. *)
+    [D(i)], if [D(i)] was obtained through Lemma 4.
+    @raise Invalid_argument when [i] is out of range
+    ({!Streaming_dp.pivot_at}'s bound check). *)

@@ -65,7 +65,10 @@ val validate : Sequence.t -> t -> (unit, string list) result
 (** All feasibility constraints above.  Also rejects overlapping cache
     intervals on one server (double caching a single item is never
     minimal) and caching beyond the horizon [t_n] (dead-end caches).
-    Returns every violated constraint, not just the first. *)
+    Returns every violated constraint, not just the first.
+    @raise Invalid_argument if a piece is structurally malformed
+    (negative server, non-finite or reversed interval endpoints): only
+    well-formed pieces get the [result] verdict. *)
 
 exception Invalid_schedule of string list
 (** Every violated constraint, in the order {!validate} reports
@@ -73,7 +76,9 @@ exception Invalid_schedule of string list
 
 val validate_exn : Sequence.t -> t -> unit
 (** @raise Invalid_schedule with the violations, so callers can catch
-    validation failures distinctly from other [Failure]s. *)
+    validation failures distinctly from other [Failure]s.
+    @raise Invalid_argument on structurally malformed pieces, as
+    {!validate} does. *)
 
 val is_standard_form : Sequence.t -> t -> bool
 (** Observation 1: every transfer ends on a request, i.e. its

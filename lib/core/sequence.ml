@@ -67,11 +67,15 @@ let m t = t.m
 let n t = Array.length t.server - 1
 let server t i = t.server.(i)
 let time t i = t.time.(i)
+(* in-range by construction: the public [request] adds the bound check
+   (and documents the raise); internal traversals must not inherit it *)
+let unsafe_request t i = { Request.server = t.server.(i); time = t.time.(i) }
+
 let request t i =
   if i < 1 || i > n t then invalid_arg "Sequence.request: index out of range";
-  { Request.server = t.server.(i); time = t.time.(i) }
+  unsafe_request t i
 
-let requests t = Array.init (n t) (fun i -> request t (i + 1))
+let requests t = Array.init (n t) (fun i -> unsafe_request t (i + 1))
 let horizon t = t.time.(n t)
 let prev_same_server t i = t.prev.(i)
 let sigma t i = t.sigma.(i)
@@ -79,11 +83,11 @@ let requests_on t s = t.on_server.(s)
 
 let sub t k =
   if k < 0 || k > n t then invalid_arg "Sequence.sub: index out of range";
-  build ~m:t.m (Array.init k (fun i -> request t (i + 1)))
+  build ~m:t.m (Array.init k (fun i -> unsafe_request t (i + 1)))
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>m=%d, n=%d" t.m (n t);
   for i = 1 to n t do
-    Format.fprintf ppf "@,  r%d = %a" i Request.pp (request t i)
+    Format.fprintf ppf "@,  r%d = %a" i Request.pp (unsafe_request t i)
   done;
   Format.fprintf ppf "@]"

@@ -19,7 +19,9 @@ val create_exn : m:int -> Request.t array -> t
 
 val of_list : m:int -> (int * float) list -> t
 (** Convenience for literals: [(server, time)] pairs, validated as in
-    {!create_exn}. *)
+    {!create_exn}.
+    @raise Invalid_argument on a negative server or non-finite time
+    ({!Request.make}) or when {!create} would return an error. *)
 
 val m : t -> int
 (** Number of servers. *)

@@ -34,23 +34,31 @@ val cost : t -> float
 (** [C(n)]: optimal cost of serving everything pushed so far. *)
 
 val cost_at : t -> int -> float
-(** [C(i)], [0 <= i <= n]. *)
+(** [C(i)], [0 <= i <= n].
+    @raise Invalid_argument when [i] is outside that range. *)
 
 val semi_cost_at : t -> int -> float
 (** [D(i)] (Definition 7); [infinity] for the first request on a
-    server. *)
+    server.
+    @raise Invalid_argument when [i] is out of range. *)
 
 val marginal_at : t -> int -> float
-(** [b_i = min(lambda_eff, mu sigma_i)]. *)
+(** [b_i = min(lambda_eff, mu sigma_i)].
+    @raise Invalid_argument when [i] is out of range. *)
 
 val running_at : t -> int -> float
-(** [B_i]. *)
+(** [B_i].
+    @raise Invalid_argument when [i] is out of range. *)
 
 val pivot_at : t -> int -> int option
-(** The pivot [kappa] chosen for [D(i)], when Lemma 4 won. *)
+(** The pivot [kappa] chosen for [D(i)], when Lemma 4 won.
+    @raise Invalid_argument when [i] is out of range. *)
 
 val server_at : t -> int -> int
+(** @raise Invalid_argument when the index is out of range. *)
+
 val time_at : t -> int -> float
+(** @raise Invalid_argument when the index is out of range. *)
 
 val schedule : t -> Schedule.t
 (** Optimal schedule for the current prefix, by backtracking.  [O(n)]
@@ -58,4 +66,7 @@ val schedule : t -> Schedule.t
     between pushes. *)
 
 val to_sequence : t -> Sequence.t
-(** The pushed requests as a validated {!Sequence}. *)
+(** The pushed requests as a validated {!Sequence}.
+    @raise Invalid_argument if validation fails
+    ({!Sequence.create_exn}; unreachable: [push] already enforced the
+    same invariants). *)

@@ -1,0 +1,12 @@
+(* One suppression comment silencing two different rules on the line
+   below it: the tuple is S1, the bare [+.] fold on a cost-named float
+   accumulator is S4. *)
+
+let weighted_total (xs : float array) =
+  let total = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    (* dcache-sema: allow S1 S4 — one comment covers both rules on the next line *)
+    let p = (xs.(i), i) in total := !total +. fst p
+  done;
+  !total
+[@@hot]

@@ -1,0 +1,20 @@
+(* S1v3 negatives: the record is stored into the result array and the
+   option is stashed in a ref — both escape their iteration, so the
+   escape analysis must stay silent. *)
+type span = { lo : int; hi : int }
+
+let fill (xs : int array) (dst : span array) =
+  for i = 0 to Array.length xs - 2 do
+    let sp = { lo = xs.(i); hi = xs.(i + 1) } in
+    dst.(i) <- sp
+  done
+[@@hot]
+
+let last_opt (xs : int array) =
+  let last = ref None in
+  for i = 0 to Array.length xs - 1 do
+    let o = Some xs.(i) in
+    last := o
+  done;
+  !last
+[@@hot]

@@ -1,0 +1,25 @@
+(* S1v3: literals bound in [@@hot] loops that provably never escape
+   the iteration — not stored, returned or captured, and every callee
+   they reach only projects them.  Hoistable / flattenable. *)
+type span = { lo : int; hi : int }
+
+let width s = s.hi - s.lo
+
+let spans (xs : int array) =
+  let acc = ref 0 in
+  for i = 0 to Array.length xs - 2 do
+    let sp = { lo = xs.(i); hi = xs.(i + 1) } in
+    acc := !acc + width sp
+  done;
+  !acc
+[@@hot]
+
+let opt_sum (xs : int array) =
+  let acc = ref 0 in
+  for i = 0 to Array.length xs - 1 do
+    let o = Some xs.(i) in
+    (match o with Some v -> acc := !acc + v | None -> ());
+    ()
+  done;
+  !acc
+[@@hot]

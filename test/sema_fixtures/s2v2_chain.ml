@@ -1,0 +1,11 @@
+(* S2v2: Invalid_argument reaches [total_cost] only through the
+   [scaled] -> [check_nonneg] chain; no raise appears in its own
+   body (the old syntactic S2 could not see this). *)
+
+let check_nonneg c = if c < 0 then invalid_arg "negative cost"
+
+let scaled c =
+  check_nonneg c;
+  c * 2
+
+let total_cost costs = List.fold_left (fun acc c -> acc + scaled c) 0 costs

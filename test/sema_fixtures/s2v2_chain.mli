@@ -1,0 +1,11 @@
+(* S2v2 fixture interface: the helpers document their raise; the
+   public summation does not. *)
+
+val check_nonneg : int -> unit
+(** @raise Invalid_argument when the cost is negative. *)
+
+val scaled : int -> int
+(** @raise Invalid_argument on a negative cost ({!check_nonneg}). *)
+
+val total_cost : int list -> int
+(** Sum of scaled costs. *)

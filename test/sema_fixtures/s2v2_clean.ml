@@ -1,0 +1,11 @@
+(* S2v2 negative: the same raising chain, but the public entry guards
+   the calls with [try ... with], so nothing escapes. *)
+
+let check_nonneg c = if c < 0 then invalid_arg "negative cost"
+
+let scaled c =
+  check_nonneg c;
+  c * 2
+
+let safe_total costs =
+  try List.fold_left (fun acc c -> acc + scaled c) 0 costs with Invalid_argument _ -> 0

@@ -1,0 +1,11 @@
+(* S2v2 negative interface: nothing to document — the implementation
+   catches the chain's exception itself. *)
+
+val check_nonneg : int -> unit
+(** @raise Invalid_argument when the cost is negative. *)
+
+val scaled : int -> int
+(** @raise Invalid_argument on a negative cost ({!check_nonneg}). *)
+
+val safe_total : int list -> int
+(** Total of scaled costs, or [0] on invalid input; never raises. *)

@@ -1,0 +1,15 @@
+(* S8: a raise while the lock is held (deadlock-on-error), and a lock
+   never released on the normal return path. *)
+
+let m = Mutex.create ()
+let count = ref 0
+
+let bump_exn n =
+  Mutex.lock m;
+  if n < 0 then invalid_arg "negative";
+  count := !count + n;
+  Mutex.unlock m
+
+let lock_forever () =
+  Mutex.lock m;
+  !count

@@ -1,0 +1,28 @@
+(* S8 negatives: [Fun.protect ~finally] releases on every path; a
+   manual unlock-then-reraise on the exception path balances too; an
+   unlock-only body (negative balance) is the caller's half of a
+   hand-off protocol, not a leak. *)
+
+let m = Mutex.create ()
+let count = ref 0
+
+let bump_protected n =
+  Mutex.lock m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m)
+    (fun () ->
+      if n < 0 then invalid_arg "negative";
+      count := !count + n)
+
+let guarded n =
+  Mutex.lock m;
+  (match count := !count + n with
+  | () -> ()
+  | exception e ->
+      Mutex.unlock m;
+      raise e);
+  Mutex.unlock m
+
+let drain_locked () =
+  count := 0;
+  Mutex.unlock m

@@ -1,0 +1,33 @@
+(* S8 resources: a local [Unix] shim keys like the real one under the
+   last-two-components rule.  [serve_one] leaks its fd when the check
+   raises; [leak_on_return] never closes; [safe] releases in
+   [Fun.protect ~finally]; [accept_close] closes a pair-bound fd. *)
+
+module Unix = struct
+  type file_descr = int
+
+  let socket () = 0
+  let accept fd = (fd + 1, "peer")
+  let close (_ : file_descr) = ()
+end
+
+let serve_one payload =
+  let fd = Unix.socket () in
+  if payload < 0 then invalid_arg "bad payload";
+  Unix.close fd
+
+let leak_on_return () =
+  let _fd = Unix.socket () in
+  ()
+
+let safe payload =
+  let fd = Unix.socket () in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      if payload < 0 then invalid_arg "bad payload";
+      payload)
+
+let accept_close listener =
+  let fd, _peer = Unix.accept listener in
+  Unix.close fd

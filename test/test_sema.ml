@@ -37,7 +37,9 @@ let core_fixtures =
     "s1_violation.ml"; "s1_hot_copy.ml"; "s2_violation.ml"; "s2_violation.mli"; "s3_dead.ml";
     "s3_dead.mli"; "s4_violation.ml"; "s5_hot_obs.ml"; "clean.ml"; "suppressed.ml";
     "s1v2_hidden.ml"; "s1v2_record.ml"; "s1v2_scc.ml"; "s1v2_clean.ml"; "s7_ref.ml";
-    "s7_named.ml"; "s7_clean.ml"; "stale_suppress.ml";
+    "s7_named.ml"; "s7_clean.ml"; "stale_suppress.ml"; "s2v2_chain.ml"; "s2v2_chain.mli";
+    "s2v2_clean.ml"; "s2v2_clean.mli"; "s1v3_record.ml"; "s1v3_escape.ml"; "s8_lock.ml";
+    "s8_protect.ml"; "s8_socket.ml"; "multi_suppress.ml";
   ]
 
 let workload_fixtures = [ "s6_deep.mli"; "s6_deep.ml"; "s6_violation.ml"; "s6_clean.ml" ]
@@ -59,7 +61,8 @@ let compile_tree ~core_order =
   let args order = String.concat " " (List.map (fun f -> "lib/core/" ^ f) order) in
   let pairs_first =
     [
-      "s2_violation.mli"; "s2_violation.ml"; "s3_dead.mli"; "s3_dead.ml";
+      "s2_violation.mli"; "s2_violation.ml"; "s3_dead.mli"; "s3_dead.ml"; "s2v2_chain.mli";
+      "s2v2_chain.ml"; "s2v2_clean.mli"; "s2v2_clean.ml";
     ]
   in
   command "cd %s && ocamlc -bin-annot -I lib/core -c %s %s" (Filename.quote root)
@@ -75,7 +78,7 @@ let default_core_order =
   List.filter
     (fun f ->
       Filename.check_suffix f ".ml"
-      && not (List.mem f [ "s2_violation.ml"; "s3_dead.ml" ]))
+      && not (List.mem f [ "s2_violation.ml"; "s3_dead.ml"; "s2v2_chain.ml"; "s2v2_clean.ml" ]))
     core_fixtures
 
 let compiled = lazy (compile_tree ~core_order:default_core_order)
@@ -135,7 +138,15 @@ let test_clean_and_suppressed () =
   check_empty "suppressed fixture" "lib/core/suppressed.ml";
   check_empty "S1v2 clean fixture" "lib/core/s1v2_clean.ml";
   check_empty "S6 clean fixture" "lib/workload/s6_clean.ml";
-  check_empty "S7 clean fixture" "lib/core/s7_clean.ml"
+  check_empty "S7 clean fixture" "lib/core/s7_clean.ml";
+  check_empty "S2v2 clean fixture" "lib/core/s2v2_clean.ml";
+  check_empty "S1v3 escaping fixture" "lib/core/s1v3_escape.ml";
+  check_empty "S8 protect fixture" "lib/core/s8_protect.ml";
+  check_empty "multi-rule suppressed fixture" "lib/core/multi_suppress.ml";
+  (* the clean counterpart's .mli carries only dead-export noise,
+     never an S2 *)
+  Alcotest.(check (list string)) "S2v2 clean interface has no S2" []
+    (List.map F.to_human (find "S2" "lib/core/s2v2_clean.mli" findings))
 
 (* ------------------------------------------- interprocedural rules *)
 
@@ -160,6 +171,160 @@ let test_s7_fires () =
   check_message "S7 names the capture" "S7" "lib/core/s7_ref.ml" "`hits`" findings;
   check_one "S7 named task writing a module Hashtbl" "S7" "lib/core/s7_named.ml" 8 findings;
   check_message "S7 names the task" "S7" "lib/core/s7_named.ml" "S7_named.record" findings
+
+(* S2v2: the exception reaches the public val only through a callee
+   chain; the finding anchors at the .mli val, names the chain, and
+   carries a SARIF-ready witness flow ending at the raise site *)
+let test_s2v2_fires () =
+  let findings, _, _, _ = run () in
+  check_one "S2v2 chain finding" "S2" "lib/core/s2v2_chain.mli" 10 findings;
+  check_message "S2v2 names the chain" "S2" "lib/core/s2v2_chain.mli"
+    "S2v2_chain.total_cost -> S2v2_chain.scaled -> S2v2_chain.check_nonneg" findings;
+  check_message "S2v2 names the exception" "S2" "lib/core/s2v2_chain.mli"
+    "@raise Invalid_argument" findings;
+  (match find "S2" "lib/core/s2v2_chain.mli" findings with
+  | [ f ] ->
+      Alcotest.(check bool) "S2v2 carries a witness flow" true (List.length f.F.flow >= 3);
+      let last = List.nth f.F.flow (List.length f.F.flow - 1) in
+      Alcotest.(check string) "flow ends at the raise site" "lib/core/s2v2_chain.ml"
+        last.F.st_path;
+      Alcotest.(check int) "raise site line" 5 last.F.st_line
+  | fs -> Alcotest.failf "expected one S2v2 finding, got %d" (List.length fs));
+  (* the documented helpers stay silent *)
+  Alcotest.(check int) "only the undocumented val fires" 1
+    (List.length (find "S2" "lib/core/s2v2_chain.mli" findings))
+
+(* S1v3: iteration-local literals in hot loops are flagged; stored or
+   ref-stashed ones are not (covered by the clean check above) *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_s1v3_fires () =
+  let findings, _, _, _ = run () in
+  let s1 = find "S1" "lib/core/s1v3_record.ml" findings in
+  Alcotest.(check (list int)) "S1v3 lines: record + constructor" [ 11; 20 ]
+    (List.sort compare (List.map (fun f -> f.F.line) s1));
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "S1v3 message at line %d says the value never escapes" f.F.line)
+        true
+        (contains f.F.message "never escapes the iteration"))
+    s1
+
+(* S8 lock discipline: raise-while-held and never-unlocked both fire;
+   the Fun.protect / unlock-then-reraise idioms stay silent (clean
+   check above) *)
+let test_s8_locks () =
+  let findings, _, _, _ = run () in
+  let s8 = find "S8" "lib/core/s8_lock.ml" findings in
+  Alcotest.(check (list int)) "S8 lines: raise site + unreleased lock" [ 9; 14 ]
+    (List.sort compare (List.map (fun f -> f.F.line) s8));
+  (match List.find_opt (fun f -> f.F.line = 9) s8 with
+  | Some f ->
+      Alcotest.(check bool) "raise finding names the mutex and Fun.protect" true
+        (contains f.F.message "mutex `m`" && contains f.F.message "Fun.protect")
+  | None -> Alcotest.fail "no raise-site S8 finding")
+
+(* S8 resource discipline: the exceptional-path and return-path leaks
+   fire at the acquisition site; protect- and close-based releases and
+   the pair-bound accept stay silent *)
+let test_s8_resources () =
+  let findings, _, _, _ = run () in
+  let s8 = find "S8" "lib/core/s8_socket.ml" findings in
+  Alcotest.(check (list int)) "S8 lines: exception leak + return leak" [ 15; 20 ]
+    (List.sort compare (List.map (fun f -> f.F.line) s8));
+  List.iter
+    (fun f ->
+      let needle = if f.F.line = 15 then "exception" else "return path" in
+      Alcotest.(check bool)
+        (Printf.sprintf "S8 resource message at line %d" f.F.line)
+        true (contains f.F.message needle))
+    s8
+
+(* one suppression comment, two rules: both the S1 tuple and the S4
+   float fold on the next line are silenced, and the comment is not
+   stale — plus the same property unit-tested on the engine directly *)
+let test_multi_rule_suppression () =
+  let _, _, _, stale = run () in
+  Alcotest.(check bool) "multi-rule suppression is not stale" false
+    (List.exists (fun (p, _, _) -> p = "lib/core/multi_suppress.ml") stale);
+  let source = "let x = 1\n(* dcache-sema: allow S1 S4 — both *)\nlet y = 2\n" in
+  let f rule = F.v ~path:"t.ml" ~line:3 ~col:0 ~rule "msg" in
+  let kept, used =
+    Report_engine.apply_suppressions_tracked ~marker:"dcache-sema:" source [ f "S1"; f "S4" ]
+  in
+  Alcotest.(check int) "both rules suppressed by one line" 0 (List.length kept);
+  Alcotest.(check (list int)) "one comment line used" [ 2 ] used;
+  let kept', _ =
+    Report_engine.apply_suppressions_tracked ~marker:"dcache-sema:" source [ f "S5" ]
+  in
+  Alcotest.(check int) "unlisted rule survives" 1 (List.length kept')
+
+(* --stats plumbing: CFG/dataflow/summary statistics are populated and
+   identical between a cold and a fully cached run *)
+let test_stats_populated () =
+  let root = Lazy.force compiled in
+  let cache = Filename.concat root "stats.cache" in
+  if Sys.file_exists cache then Sys.remove cache;
+  let _, cold, _, _ = Sema_engine.run ~cache_file:cache ~source_root:root [ root ] in
+  Alcotest.(check bool) "blocks counted" true (cold.Sema_engine.cfg_blocks > 0);
+  Alcotest.(check bool) "dataflow iterated" true (cold.Sema_engine.df_iterations > 0);
+  Alcotest.(check bool) "summary nodes counted" true (cold.Sema_engine.summary_nodes > 0);
+  Alcotest.(check bool) "SCCs counted" true
+    (cold.Sema_engine.summary_sccs > 0
+    && cold.Sema_engine.summary_sccs <= cold.Sema_engine.summary_nodes);
+  Alcotest.(check bool) "fixpoint rounds counted" true
+    (cold.Sema_engine.summary_rounds >= 1
+    && cold.Sema_engine.exn_rounds >= 1
+    && cold.Sema_engine.escape_rounds >= 1);
+  let _, warm, _, _ = Sema_engine.run ~cache_file:cache ~source_root:root [ root ] in
+  Alcotest.(check int) "warm run hits" warm.Sema_engine.units warm.Sema_engine.cache_hits;
+  Alcotest.(check (list int)) "stats are cache-hit stable"
+    [
+      cold.Sema_engine.cfg_blocks; cold.Sema_engine.df_iterations;
+      cold.Sema_engine.summary_nodes; cold.Sema_engine.summary_sccs;
+      cold.Sema_engine.summary_rounds; cold.Sema_engine.exn_rounds;
+      cold.Sema_engine.escape_rounds;
+    ]
+    [
+      warm.Sema_engine.cfg_blocks; warm.Sema_engine.df_iterations;
+      warm.Sema_engine.summary_nodes; warm.Sema_engine.summary_sccs;
+      warm.Sema_engine.summary_rounds; warm.Sema_engine.exn_rounds;
+      warm.Sema_engine.escape_rounds;
+    ]
+
+(* version pins: forgetting to bump either stamp when rule semantics
+   change is the cache-staleness failure mode — fail loudly here *)
+let test_version_pins () =
+  Alcotest.(check string) "analyzer version" "7" Sema_rules.analyzer_version;
+  Alcotest.(check int) "cache format version" 5 Sema_cache.version
+
+(* witness chains surface in SARIF as codeFlows/relatedLocations and
+   every rule descriptor links its docs anchor *)
+let test_sarif_flows () =
+  let flow =
+    [ F.step ~path:"lib/a.mli" ~line:3 "public contract"; F.step ~path:"lib/b.ml" ~line:9 "raise" ]
+  in
+  let f = F.v ~path:"lib/a.mli" ~line:3 ~col:0 ~rule:"S2" ~flow "msg" in
+  let sarif =
+    Report_sarif.render ~tool_name:"dcache_sema" ~tool_version:"test" ~rules:Sema_rules.catalog
+      [ f; F.v ~path:"lib/c.ml" ~line:1 ~col:0 ~rule:"S4" "local" ]
+  in
+  let contains needle =
+    let nh = String.length sarif and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub sarif i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "codeFlows present" true (contains "\"codeFlows\"");
+  Alcotest.(check bool) "relatedLocations present" true (contains "\"relatedLocations\"");
+  Alcotest.(check bool) "flow step text present" true (contains "public contract");
+  Alcotest.(check bool) "S8 helpUri anchor" true
+    (contains "docs/STATIC_ANALYSIS.md#s8");
+  Alcotest.(check bool) "S2 helpUri anchor" true
+    (contains "docs/STATIC_ANALYSIS.md#s2")
 
 (* the acceptance demo: both planted multi-level chains are caught
    and the messages spell out the full call path *)
@@ -259,6 +424,14 @@ let suite =
     Alcotest.test_case "S6 generator purity is transitive" `Quick test_s6_fires;
     Alcotest.test_case "S7 flags racy Pool tasks" `Quick test_s7_fires;
     Alcotest.test_case "interprocedural demo chains" `Quick test_interproc_demo;
+    Alcotest.test_case "S2v2 tracks raises through callee chains" `Quick test_s2v2_fires;
+    Alcotest.test_case "S1v3 escape analysis in hot loops" `Quick test_s1v3_fires;
+    Alcotest.test_case "S8 lock discipline on all CFG paths" `Quick test_s8_locks;
+    Alcotest.test_case "S8 resource release on all CFG paths" `Quick test_s8_resources;
+    Alcotest.test_case "one comment suppresses two rules" `Quick test_multi_rule_suppression;
+    Alcotest.test_case "CFG/summary stats populated and cache-stable" `Quick test_stats_populated;
+    Alcotest.test_case "analyzer and cache versions pinned" `Quick test_version_pins;
+    Alcotest.test_case "SARIF carries codeFlows and helpUris" `Quick test_sarif_flows;
     Alcotest.test_case "cmt/cmti pairs report once" `Quick test_cmti_stability;
     Alcotest.test_case "output is build-order independent" `Quick test_determinism;
     Alcotest.test_case "incremental cache hits on re-run" `Quick test_cache_hits;

@@ -1,4 +1,13 @@
-type t = { path : string; line : int; col : int; rule : string; message : string }
+type step = { st_path : string; st_line : int; st_text : string }
+
+type t = {
+  path : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+  flow : step list;
+}
 
 let normalize_path path =
   let parts = String.split_on_char '/' path in
@@ -12,11 +21,16 @@ let normalize_path path =
   let parts = match parts with "_build" :: _context :: rest -> rest | parts -> parts in
   String.concat "/" parts
 
-let v ~path ~line ~col ~rule message = { path = normalize_path path; line; col; rule; message }
+let step ~path ~line text = { st_path = normalize_path path; st_line = line; st_text = text }
 
-let make ~path ~loc ~rule message =
+let v ~path ~line ~col ~rule ?(flow = []) message =
+  { path = normalize_path path; line; col; rule; message; flow }
+
+let make ~path ~loc ~rule ?(flow = []) message =
   let pos = loc.Location.loc_start in
-  v ~path ~line:pos.Lexing.pos_lnum ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol) ~rule message
+  v ~path ~line:pos.Lexing.pos_lnum
+    ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+    ~rule ~flow message
 
 let compare a b =
   match String.compare a.path b.path with

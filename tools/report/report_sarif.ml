@@ -2,9 +2,50 @@ module F = Report_finding
 
 (* Minimal SARIF 2.1.0: one run, one driver, one result per finding.
    Enough for GitHub code-scanning upload and for IDE SARIF viewers;
-   schema validated against sarif-2.1.0.json. *)
+   schema validated against sarif-2.1.0.json.
+
+   Interprocedural findings carry their witness chain ([F.flow]) as a
+   [codeFlows] thread (viewers step through the call chain) and as
+   [relatedLocations] (GitHub renders those as linked annotations). *)
+
+let doc_uri = "https://github.com/dcache/dcache/blob/main/docs/STATIC_ANALYSIS.md"
+
+let location ~indent f_path line message =
+  let pad = String.make indent ' ' in
+  let msg =
+    if message = "" then ""
+    else Printf.sprintf "%s  \"message\": { \"text\": \"%s\" },\n" pad (F.json_escape message)
+  in
+  Printf.sprintf
+    "%s{\n%s%s  \"physicalLocation\": {\n%s    \"artifactLocation\": { \"uri\": \"%s\", \
+     \"uriBaseId\": \"SRCROOT\" },\n%s    \"region\": { \"startLine\": %d }\n%s  }\n%s}"
+    pad msg pad pad (F.json_escape f_path) pad (max 1 line) pad pad
+
+let code_flow steps =
+  let tfl (s : F.step) =
+    Printf.sprintf "                { \"location\":\n%s\n                }"
+      (location ~indent:18 s.F.st_path s.F.st_line s.F.st_text)
+  in
+  Printf.sprintf
+    "        \"codeFlows\": [\n\
+    \          { \"threadFlows\": [\n\
+    \            { \"locations\": [\n\
+     %s\n\
+    \            ] }\n\
+    \          ] }\n\
+    \        ]"
+    (String.concat ",\n" (List.map tfl steps))
 
 let result f =
+  let extras =
+    if f.F.flow = [] then ""
+    else
+      Printf.sprintf ",\n        \"relatedLocations\": [\n%s\n        ],\n%s"
+        (String.concat ",\n"
+           (List.map (fun (s : F.step) -> location ~indent:10 s.F.st_path s.F.st_line s.F.st_text)
+              f.F.flow))
+        (code_flow f.F.flow)
+  in
   Printf.sprintf
     {|      {
         "ruleId": "%s",
@@ -17,14 +58,15 @@ let result f =
               "region": { "startLine": %d, "startColumn": %d }
             }
           }
-        ]
+        ]%s
       }|}
-    f.F.rule (F.json_escape f.F.message) (F.json_escape f.F.path) f.F.line (max 1 f.F.col)
+    f.F.rule (F.json_escape f.F.message) (F.json_escape f.F.path) f.F.line (max 1 f.F.col) extras
 
 let rule_descriptor (id, description) =
   Printf.sprintf
-    {|          { "id": "%s", "shortDescription": { "text": "%s" } }|}
-    id (F.json_escape description)
+    {|          { "id": "%s", "shortDescription": { "text": "%s" }, "helpUri": "%s#%s" }|}
+    id (F.json_escape description) doc_uri
+    (String.lowercase_ascii id)
 
 let render ~tool_name ~tool_version ~rules findings =
   Printf.sprintf
@@ -37,7 +79,7 @@ let render ~tool_name ~tool_version ~rules findings =
         "driver": {
           "name": "%s",
           "version": "%s",
-          "informationUri": "https://github.com/dcache/dcache/blob/main/docs/STATIC_ANALYSIS.md",
+          "informationUri": "%s",
           "rules": [
 %s
           ]
@@ -50,6 +92,6 @@ let render ~tool_name ~tool_version ~rules findings =
   ]
 }
 |}
-    (F.json_escape tool_name) (F.json_escape tool_version)
+    (F.json_escape tool_name) (F.json_escape tool_version) doc_uri
     (String.concat ",\n" (List.map rule_descriptor rules))
     (String.concat ",\n" (List.map result findings))

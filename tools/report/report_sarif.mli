@@ -8,5 +8,8 @@ val render :
   string
 (** [render ~tool_name ~tool_version ~rules findings] is a complete
     SARIF log: [rules] lists [(id, short description)] for the tool's
-    catalog; each finding becomes an error-level result anchored at
-    its file, line and column. *)
+    catalog, each with a [helpUri] anchored into
+    docs/STATIC_ANALYSIS.md; each finding becomes an error-level
+    result anchored at its file, line and column.  A finding with a
+    non-empty witness chain ([Report_finding.flow]) additionally
+    carries it as [codeFlows] and [relatedLocations]. *)

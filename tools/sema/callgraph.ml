@@ -64,6 +64,13 @@ type node = {
   nd_candidate : bool;  (* S6: a lib/workload generator (rng/seed/generate) *)
   nd_facts : facts;  (* local facts only; [Summary] computes the closure *)
   nd_calls : key list list;  (* each callee as alternative keys, first match wins *)
+  nd_raises : (string * int * int) list;
+      (* exceptions raised in unguarded CFG blocks: (name, line, col) *)
+  nd_unguarded : key list list;
+      (* calls in unguarded blocks (closures built there included):
+         the edges a callee's escaping exceptions propagate along *)
+  nd_pescape : bool;  (* a parameter may escape this function locally *)
+  nd_pfwd : key list list;  (* callees a parameter is forwarded to *)
 }
 
 type capture = { cap_kind : string; cap_name : string }
@@ -82,15 +89,41 @@ type hot_site = {
 
 type pool_site = { ps_fn : string; ps_line : int; ps_col : int; ps_task : task }
 
+(* S1v3 candidate: a record/constructor literal bound in a hot loop
+   whose value provably stays inside its iteration — except possibly
+   through the callees in [al_callees], which the interprocedural pass
+   checks against parameter-escape summaries. *)
+type alloc_site = {
+  al_fn : string;  (* the enclosing [@@hot] function *)
+  al_var : string;
+  al_kind : string;  (* "record literal", "constructor `Some`", ... *)
+  al_line : int;
+  al_col : int;
+  al_callees : key list list;
+}
+
 type unit_graph = {
   ug_unit : string;
   ug_path : string;
   ug_nodes : node list;
   ug_hot_sites : hot_site list;
   ug_pool_sites : pool_site list;
+  ug_alloc_sites : alloc_site list;
+  ug_blocks : int;  (* CFG basic blocks built for this unit *)
+  ug_iters : int;  (* dataflow sweeps to fixpoint, summed over this unit *)
 }
 
-let empty_graph = { ug_unit = ""; ug_path = ""; ug_nodes = []; ug_hot_sites = []; ug_pool_sites = [] }
+let empty_graph =
+  {
+    ug_unit = "";
+    ug_path = "";
+    ug_nodes = [];
+    ug_hot_sites = [];
+    ug_pool_sites = [];
+    ug_alloc_sites = [];
+    ug_blocks = 0;
+    ug_iters = 0;
+  }
 
 (* ---------------------------------------------------------------- paths *)
 
@@ -297,15 +330,30 @@ let target_of_path ~mod_name ~unit_name p =
 
 (* ------------------------------------------------------------ extraction *)
 
+(* per-function exception/escape flow facts, targets unresolved until
+   [finalize] *)
+type raw_flow = {
+  rf_raises : (string * int * int) list;
+  rf_unguarded : target list;
+  rf_pescape : bool;
+  rf_pfwd : target list;
+}
+
+let no_flow = { rf_raises = []; rf_unguarded = []; rf_pescape = false; rf_pfwd = [] }
+
 type ctx = {
   cx_unit : string;
   cx_path : string;
   mutable cx_tops : Ident.t list;  (* every top-level ident seen so far *)
   mutable cx_mutables : Ident.t list;  (* the mutable-typed subset *)
   mutable cx_nodes :
-    (node * target list * (string * int * int * target option * key option) list) list;
+    (node * target list * (string * int * int * target option * key option) list * raw_flow) list;
       (* reversed; hot sites stay raw tuples until [finalize] resolves them *)
   mutable cx_pool : (string * int * int * [ `Closure of capture list * bool * target list | `Named of target ]) list;
+  mutable cx_alloc : (string * string * string * int * int * target list) list;
+      (* reversed S1v3 candidates: (fn, var, kind, line, col, callee deps) *)
+  mutable cx_blocks : int;
+  mutable cx_iters : int;
 }
 
 let is_global cx p =
@@ -433,6 +481,283 @@ let scan_hot_sites cx ~mod_name ~fname vb_expr =
   in
   it.expr it vb_expr;
   List.rev !sites
+
+(* ------------------------------------------------- CFG-based flow scans *)
+
+module StrSet = Set.Make (String)
+
+module EscapeLattice = struct
+  type fact = StrSet.t
+
+  let bottom = StrSet.empty
+  let equal = StrSet.equal
+  let join = StrSet.union
+end
+
+module EscapeFlow = Dataflow.Make (EscapeLattice)
+
+let ident_of e =
+  match e.exp_desc with Texp_ident (Path.Pident id, _, _) -> Some id | _ -> None
+
+(* tracked idents mentioned anywhere inside a deferred body *)
+let captured_targets ~is_target e =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match ex.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) when is_target id -> acc := id :: !acc
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.expr it e;
+  !acc
+
+(* How one linearized statement treats the tracked idents [targets]:
+   the idents it makes escape, plus the (ident, callee) pairs whose
+   verdict depends on the callee's parameter-escape summary.  Field
+   reads, stores *into* a tracked value, and bare mentions (a child of
+   some consuming parent statement, which gets its own verdict) are
+   free; any other direct mention is an escape.  Shared between the
+   S1v3 loop-candidate pass and the parameter-escape pass that backs
+   its callee check. *)
+let stmt_escapes ~unit_name ~mod_name ~targets stmt =
+  let is_target id = List.exists (Ident.same id) targets in
+  let tgt e = match ident_of e with Some id when is_target id -> Some id | _ -> None in
+  match stmt with
+  | Cfg.S_bind (Cfg.Whole, _, rhs) -> (Option.to_list (tgt rhs), [])
+  | Cfg.S_bind (Cfg.Part, _, _) -> ([], [])
+  | Cfg.S_expr e -> (
+      match e.exp_desc with
+      | Texp_ident _ | Texp_field _ -> ([], [])
+      | Texp_setfield (_, _, _, rhs) -> (Option.to_list (tgt rhs), [])
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+          let arg_targets = List.filter_map (fun (_, a) -> Option.bind a tgt) args in
+          if arg_targets = [] then ([], [])
+          else if Cfg.as_raise e <> None then (arg_targets, [])
+          else
+            match target_of_path ~mod_name ~unit_name p with
+            | Some t -> ([], List.map (fun id -> (id, t)) arg_targets)
+            | None -> (arg_targets, []))
+      | Texp_apply (_, args) -> (List.filter_map (fun (_, a) -> Option.bind a tgt) args, [])
+      | Texp_function _ | Texp_lazy _ -> (captured_targets ~is_target e, [])
+      | _ -> (List.filter_map tgt (Cfg.direct_children e), []))
+
+(* backward may-escape: the fact at a point is the set of tracked uids
+   with an escaping use at or after it *)
+let escape_flow ~unit_name ~mod_name cfg ~targets =
+  let transfer fact stmt =
+    let esc, _ = stmt_escapes ~unit_name ~mod_name ~targets stmt in
+    List.fold_left (fun f id -> StrSet.add (Ident.unique_name id) f) fact esc
+  in
+  EscapeFlow.solve Dataflow.Backward cfg ~init:StrSet.empty ~transfer
+
+(* raises and calls inside a deferred body, skipping try-guarded
+   subtrees: a closure built in an unguarded block usually runs
+   unprotected (iterator callbacks, thunks), so its unguarded raises
+   and calls count as the builder's own *)
+let closure_flow ~unit_name ~mod_name e =
+  let raises = ref [] in
+  let calls = ref [] in
+  let visit_cases : type k. Tast_iterator.iterator -> k case list -> unit =
+   fun self cases ->
+    List.iter
+      (fun c ->
+        (match c.c_guard with Some g -> self.expr self g | None -> ());
+        self.expr self c.c_rhs)
+      cases
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          match ex.exp_desc with
+          | Texp_try (_, cases) -> visit_cases self cases
+          | Texp_match (_, cases, _) when List.exists Cfg.has_exception_case cases ->
+              visit_cases self cases
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+              (match Cfg.as_raise ex with
+              | Some (Some exn) ->
+                  let st = ex.exp_loc.Location.loc_start in
+                  raises :=
+                    (exn, st.Lexing.pos_lnum, st.Lexing.pos_cnum - st.Lexing.pos_bol) :: !raises
+              | Some None -> ()
+              | None -> (
+                  match target_of_path ~mod_name ~unit_name p with
+                  | Some t -> calls := t :: !calls
+                  | None -> ()));
+              Tast_iterator.default_iterator.expr self ex
+          | _ -> Tast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.expr it e;
+  (List.rev !raises, List.rev !calls)
+
+(* per-function CFG pass: escaping raises, unguarded call edges, and
+   whether a parameter escapes (the callee side of S1v3's check).
+   Parameters are the lambda-spine arguments plus any whole-value case
+   binds over them; component binds (destructured fields) do not alias
+   the argument itself. *)
+let scan_flow cx ~mod_name vb_expr =
+  let params =
+    let acc = ref [] in
+    let rec spine e =
+      match e.exp_desc with
+      | Texp_function { param; cases; _ } ->
+          acc := param :: !acc;
+          List.iter
+            (fun c ->
+              (match c.c_lhs.pat_desc with
+              | Tpat_var (id, _) | Tpat_alias (_, id, _) -> acc := id :: !acc
+              | _ -> ());
+              spine c.c_rhs)
+            cases
+      | _ -> ()
+    in
+    spine vb_expr;
+    !acc
+  in
+  let raises = ref [] in
+  let unguarded = ref [] in
+  let pfwd = ref [] in
+  let pescape = ref false in
+  List.iter
+    (fun leaf ->
+      let cfg = Cfg.build leaf in
+      cx.cx_blocks <- cx.cx_blocks + Cfg.n_blocks cfg;
+      if List.exists (fun id -> List.exists (Ident.same id) params) (Cfg.tail_idents leaf [])
+      then pescape := true;
+      Array.iter
+        (fun b ->
+          let open_block = b.Cfg.b_handler = cfg.Cfg.cf_exc_exit in
+          List.iter
+            (fun stmt ->
+              let esc, fwd =
+                stmt_escapes ~unit_name:cx.cx_unit ~mod_name ~targets:params stmt
+              in
+              if esc <> [] then pescape := true;
+              List.iter (fun (_, t) -> pfwd := t :: !pfwd) fwd;
+              match stmt with
+              | Cfg.S_expr e -> (
+                  match Cfg.as_raise e with
+                  | Some name_opt -> (
+                      if open_block then
+                        match name_opt with
+                        | Some exn ->
+                            let st = e.exp_loc.Location.loc_start in
+                            raises :=
+                              (exn, st.Lexing.pos_lnum, st.Lexing.pos_cnum - st.Lexing.pos_bol)
+                              :: !raises
+                        | None -> ())
+                  | None -> (
+                      match e.exp_desc with
+                      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+                          if open_block then
+                            match target_of_path ~mod_name ~unit_name:cx.cx_unit p with
+                            | Some t -> unguarded := t :: !unguarded
+                            | None -> ())
+                      | Texp_function _ | Texp_lazy _ ->
+                          if open_block then begin
+                            let rs, cs = closure_flow ~unit_name:cx.cx_unit ~mod_name e in
+                            raises := List.rev_append rs !raises;
+                            unguarded := List.rev_append cs !unguarded
+                          end
+                      | _ -> ()))
+              | Cfg.S_bind _ -> ())
+            b.Cfg.b_stmts)
+        cfg.Cfg.cf_blocks)
+    (fn_leaves vb_expr []);
+  {
+    rf_raises = List.rev !raises;
+    rf_unguarded = List.rev !unguarded;
+    rf_pescape = !pescape;
+    rf_pfwd = List.rev !pfwd;
+  }
+
+(* S1v3 candidate scan: literal record/constructor binds in the
+   outermost for/while loops of a [@@hot] binding (nested loops are
+   inside the outer loop's CFG already).  A candidate survives only
+   when the backward escape pass proves it iteration-local; the
+   callees it is forwarded to are recorded for the summary-side
+   parameter-escape check. *)
+let scan_alloc_sites cx ~mod_name ~fname vb_expr =
+  let do_loop body =
+    let cfg = Cfg.build body in
+    cx.cx_blocks <- cx.cx_blocks + Cfg.n_blocks cfg;
+    let candidates = ref [] in
+    Array.iter
+      (fun b ->
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Cfg.S_bind (Cfg.Whole, id, rhs) -> (
+                let record kind =
+                  let st = rhs.exp_loc.Location.loc_start in
+                  candidates :=
+                    ( id, kind, st.Lexing.pos_lnum,
+                      st.Lexing.pos_cnum - st.Lexing.pos_bol, b.Cfg.b_id )
+                    :: !candidates
+                in
+                match rhs.exp_desc with
+                | Texp_record _ -> record "record literal"
+                | Texp_construct (_, cd, _ :: _) when cd.Types.cstr_name <> "::" ->
+                    record (Printf.sprintf "constructor `%s`" cd.Types.cstr_name)
+                | _ -> ())
+            | _ -> ())
+          b.Cfg.b_stmts)
+      cfg.Cfg.cf_blocks;
+    let candidates = List.rev !candidates in
+    if candidates <> [] then begin
+      let targets = List.map (fun (id, _, _, _, _) -> id) candidates in
+      let res = escape_flow ~unit_name:cx.cx_unit ~mod_name cfg ~targets in
+      cx.cx_iters <- cx.cx_iters + res.EscapeFlow.iterations;
+      let tails = Cfg.tail_idents body [] in
+      let fwd = ref [] in
+      Array.iter
+        (fun b ->
+          List.iter
+            (fun stmt ->
+              let _, f = stmt_escapes ~unit_name:cx.cx_unit ~mod_name ~targets stmt in
+              fwd := List.rev_append f !fwd)
+            b.Cfg.b_stmts)
+        cfg.Cfg.cf_blocks;
+      let fwd = List.rev !fwd in
+      List.iter
+        (fun (id, kind, line, col, b_id) ->
+          let escapes =
+            StrSet.mem (Ident.unique_name id) res.EscapeFlow.facts_out.(b_id)
+            || List.exists (Ident.same id) tails
+          in
+          if not escapes then begin
+            let callees =
+              List.filter_map (fun (id', t) -> if Ident.same id id' then Some t else None) fwd
+            in
+            cx.cx_alloc <- (fname, Ident.name id, kind, line, col, callees) :: cx.cx_alloc
+          end)
+        candidates
+    end
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          match e.exp_desc with
+          | Texp_for (_, _, lo, hi, _, body) ->
+              self.expr self lo;
+              self.expr self hi;
+              do_loop body
+          | Texp_while (cond, body) ->
+              self.expr self cond;
+              do_loop body
+          | _ -> Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it vb_expr
 
 (* ------------------------------------------------------ pool-site scan *)
 
@@ -563,7 +888,9 @@ let do_binding cx ~mod_name ~workload vb =
       let facts, calls =
         if fn then scan_facts cx ~mod_name (fn_leaves vb.vb_expr []) else (no_facts, [])
       in
+      let flow = if fn then scan_flow cx ~mod_name vb.vb_expr else no_flow in
       let hot_sites = if hot then scan_hot_sites cx ~mod_name ~fname:name vb.vb_expr else [] in
+      if hot then scan_alloc_sites cx ~mod_name ~fname:name vb.vb_expr;
       scan_pool_sites cx ~mod_name vb.vb_expr;
       let node =
         {
@@ -574,9 +901,13 @@ let do_binding cx ~mod_name ~workload vb =
           nd_candidate = fn && workload && generator_candidate ~name vb.vb_expr.exp_type;
           nd_facts = facts;
           nd_calls = [];  (* filled in by [finalize] *)
+          nd_raises = flow.rf_raises;
+          nd_unguarded = [];  (* filled in by [finalize] *)
+          nd_pescape = flow.rf_pescape;
+          nd_pfwd = [];  (* filled in by [finalize] *)
         }
       in
-      cx.cx_nodes <- (node, calls, hot_sites) :: cx.cx_nodes
+      cx.cx_nodes <- (node, calls, hot_sites, flow) :: cx.cx_nodes
   | _ -> ()
 
 let rec do_structure cx ~mod_name ~workload str =
@@ -606,7 +937,7 @@ and do_module cx ~workload mb =
    a bare ident that names no binding of this unit is a local
    variable, not an edge. *)
 let finalize cx =
-  let node_keys = List.map (fun (n, _, _) -> n.nd_key) cx.cx_nodes in
+  let node_keys = List.map (fun (n, _, _, _) -> n.nd_key) cx.cx_nodes in
   let resolve_target = function
     | Remote k -> [ k ]
     | Locals ks -> List.filter (fun k -> List.mem k node_keys) ks
@@ -617,14 +948,33 @@ let finalize cx =
       targets
     |> List.sort_uniq compare
   in
+  (* A forwarded-to callee that resolves to nothing is a call through a
+     local variable — an unknown consumer, so the parameter must be
+     assumed to escape (the unguarded exception edges stay
+     under-approximate instead: unknown callees contribute no raises). *)
+  let resolve_fwd targets =
+    List.fold_left
+      (fun (escape, acc) t ->
+        match resolve_target t with [] -> (true, acc) | ks -> (escape, ks :: acc))
+      (false, []) targets
+    |> fun (escape, acc) -> (escape, List.sort_uniq compare acc)
+  in
   let nodes =
     List.rev_map
-      (fun (n, calls, _) -> { n with nd_calls = resolve_calls calls })
+      (fun (n, calls, _, flow) ->
+        let pfwd_escape, pfwd = resolve_fwd flow.rf_pfwd in
+        {
+          n with
+          nd_calls = resolve_calls calls;
+          nd_unguarded = resolve_calls flow.rf_unguarded;
+          nd_pescape = n.nd_pescape || pfwd_escape;
+          nd_pfwd = pfwd;
+        })
       cx.cx_nodes
   in
   let hot_sites =
     List.concat_map
-      (fun (_, _, sites) ->
+      (fun (_, _, sites, _) ->
         List.filter_map
           (fun (hs_fn, hs_line, hs_col, target, hs_builtin) ->
             match (target, hs_builtin) with
@@ -636,6 +986,14 @@ let finalize cx =
             | None, None -> None)
           sites)
       (List.rev cx.cx_nodes)
+  in
+  (* an S1v3 candidate forwarded to an unresolvable callee escapes *)
+  let alloc_sites =
+    List.rev cx.cx_alloc
+    |> List.filter_map (fun (al_fn, al_var, al_kind, al_line, al_col, targets) ->
+           match resolve_fwd targets with
+           | true, _ -> None
+           | false, al_callees -> Some { al_fn; al_var; al_kind; al_line; al_col; al_callees })
   in
   let pool_sites =
     List.rev_map
@@ -656,6 +1014,9 @@ let finalize cx =
     ug_nodes = nodes;
     ug_hot_sites = hot_sites;
     ug_pool_sites = pool_sites;
+    ug_alloc_sites = alloc_sites;
+    ug_blocks = cx.cx_blocks;
+    ug_iters = cx.cx_iters;
   }
 
 let extract ~unit_name ~ml_path structure =
@@ -670,6 +1031,9 @@ let extract ~unit_name ~ml_path structure =
         cx_mutables = [];
         cx_nodes = [];
         cx_pool = [];
+        cx_alloc = [];
+        cx_blocks = 0;
+        cx_iters = 0;
       }
     in
     do_structure cx ~mod_name:unit_name ~workload:(has_prefix "lib/workload/" path) structure;

@@ -1,0 +1,280 @@
+(* Basic-block control-flow graphs over Typedtree expressions.
+
+   [build] linearizes one function body (or module-init expression)
+   into blocks of statements connected by normal ([b_succ]) and
+   exceptional ([b_exc]) edges.  Every sub-expression becomes its own
+   statement, children before parents, so a dataflow transfer function
+   only ever inspects the *top* constructor of each statement; control
+   constructs (if/match/try/loops) become edges instead of statements.
+
+   Exceptional edges are deliberately asymmetric: a call or raise in a
+   block whose innermost handler is a real [try]/[match ... exception]
+   gets an edge to that handler (handlers must be reachable with the
+   facts that hold at the call point), while an *unguarded* call gets
+   no exceptional edge at all — its exceptions leave the function, and
+   which calls can do that is exactly what the interprocedural
+   exception-flow pass ([Sema_interproc]) computes from per-function
+   summaries.  Unguarded [raise] statements do edge to [cf_exc_exit] so
+   must-release analyses (S8) see the abrupt exit.
+
+   Deferred bodies ([fun ...], [lazy ...]) are atomic statements here;
+   analyses that care about their contents scan them separately and
+   build their own CFGs. *)
+
+open Typedtree
+
+type bind_kind =
+  | Whole  (* [let x = e]: [x] is an alias for the whole value of [e] *)
+  | Part  (* [let x, _ = e]: [x] names one component of [e]'s value *)
+
+type stmt =
+  | S_expr of expression
+  | S_bind of bind_kind * Ident.t * expression
+
+type block = {
+  b_id : int;
+  mutable b_stmts : stmt list;
+  mutable b_succ : int list;
+  mutable b_exc : int list;
+  b_handler : int;  (* innermost enclosing handler block, or [cf_exc_exit] *)
+}
+
+type t = {
+  cf_blocks : block array;  (* indexed by [b_id] *)
+  cf_entry : int;
+  cf_exit : int;  (* normal-return point; no statements *)
+  cf_exc_exit : int;  (* where unguarded raises land; no statements *)
+}
+
+let n_blocks t = Array.length t.cf_blocks
+
+(* [Some (Some exn)]: a raise of the statically-known exception [exn];
+   [Some None]: a raise of a dynamically chosen exception ([raise e]);
+   [None]: not a raise. *)
+let as_raise e =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+      let name = Path.name p in
+      if name = "Stdlib.invalid_arg" then Some (Some "Invalid_argument")
+      else if name = "Stdlib.failwith" then Some (Some "Failure")
+      else if
+        name = "Stdlib.raise" || name = "Stdlib.raise_notrace"
+        || name = "Stdlib.Printexc.raise_with_backtrace"
+      then
+        Some
+          (List.find_map
+             (fun (_, arg) ->
+               match arg with
+               | Some { exp_desc = Texp_construct (_, cd, _); _ } -> Some cd.Types.cstr_name
+               | _ -> None)
+             args)
+      else None
+  | _ -> None
+
+let is_exit e =
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> Path.name p = "Stdlib.exit"
+  | _ -> false
+
+(* The single-variable binding a pattern performs over the whole
+   matched value, if any.  [Whole] for [x] / [_ as x]; [Part] when the
+   first tuple component is a variable ([let x, _ = ...]). *)
+let rec pattern_bind : type k. k general_pattern -> (bind_kind * Ident.t) option =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_var (id, _) -> Some (Whole, id)
+  | Tpat_alias (_, id, _) -> Some (Whole, id)
+  | Tpat_value arg -> pattern_bind (arg :> value general_pattern)
+  | Tpat_tuple ({ pat_desc = Tpat_var (id, _); _ } :: _) -> Some (Part, id)
+  | _ -> None
+
+let has_exception_case (c : computation case) =
+  match split_pattern c.c_lhs with _, Some _ -> true | _ -> false
+
+(* Identifiers an expression can evaluate to in tail position: the
+   values a function body may return by aliasing a local. *)
+let rec tail_idents e acc =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> id :: acc
+  | Texp_let (_, _, body)
+  | Texp_sequence (_, body)
+  | Texp_letmodule (_, _, _, _, body)
+  | Texp_open (_, body) ->
+      tail_idents body acc
+  | Texp_ifthenelse (_, t, f) -> (
+      let acc = tail_idents t acc in
+      match f with Some f -> tail_idents f acc | None -> acc)
+  | Texp_match (_, cases, _) ->
+      List.fold_left (fun acc c -> tail_idents c.c_rhs acc) acc cases
+  | Texp_try (body, cases) ->
+      List.fold_left (fun acc c -> tail_idents c.c_rhs acc) (tail_idents body acc) cases
+  | _ -> acc
+
+(* Direct expression children of a node, via [Tast_iterator] with a
+   non-recursing visitor.  Used as the linearization fallback for node
+   kinds with no control-flow meaning of their own. *)
+let direct_children e =
+  let acc = ref [] in
+  let it = { Tast_iterator.default_iterator with expr = (fun _ c -> acc := c :: !acc) } in
+  Tast_iterator.default_iterator.expr it e;
+  List.rev !acc
+
+let build root =
+  let blocks = ref [] in
+  let next = ref 0 in
+  let mk handler =
+    let b = { b_id = !next; b_stmts = []; b_succ = []; b_exc = []; b_handler = handler } in
+    incr next;
+    blocks := b :: !blocks;
+    b
+  in
+  let exc_exit = mk 0 in
+  let exit_b = mk exc_exit.b_id in
+  let entry = mk exc_exit.b_id in
+  let link a b = if not (List.mem b.b_id a.b_succ) then a.b_succ <- b.b_id :: a.b_succ in
+  let link_exc a h = if not (List.mem h a.b_exc) then a.b_exc <- h :: a.b_exc in
+  let add b s = b.b_stmts <- s :: b.b_stmts in
+  (* [go handler cur e] appends [e]'s statements starting in block
+     [cur] and returns the block where execution continues. *)
+  let rec go handler cur e =
+    match e.exp_desc with
+    | Texp_let (_, vbs, body) ->
+        let cur =
+          List.fold_left
+            (fun cur vb ->
+              let cur = go handler cur vb.vb_expr in
+              (match pattern_bind vb.vb_pat with
+              | Some (k, id) -> add cur (S_bind (k, id, vb.vb_expr))
+              | None -> ());
+              cur)
+            cur vbs
+        in
+        go handler cur body
+    | Texp_sequence (a, b) -> go handler (go handler cur a) b
+    | Texp_ifthenelse (c, t, f) ->
+        let cur = go handler cur c in
+        let join = mk handler in
+        let bt = mk handler in
+        link cur bt;
+        link (go handler bt t) join;
+        (match f with
+        | Some f ->
+            let bf = mk handler in
+            link cur bf;
+            link (go handler bf f) join
+        | None -> link cur join);
+        join
+    | Texp_match (scrut, cases, _) ->
+        let exc_cases, val_cases = List.partition has_exception_case cases in
+        let join = mk handler in
+        let scrut_end, handler_block =
+          if exc_cases = [] then (go handler cur scrut, None)
+          else begin
+            (* the scrutinee runs under the match's own handler *)
+            let h = mk handler in
+            let b = mk h.b_id in
+            link cur b;
+            (go h.b_id b scrut, Some h)
+          end
+        in
+        let do_case src bind c =
+          let cb = mk handler in
+          link src cb;
+          (match bind with
+          | Some scrut -> (
+              match pattern_bind c.c_lhs with
+              | Some (k, id) -> add cb (S_bind (k, id, scrut))
+              | None -> ())
+          | None -> ());
+          let cb = match c.c_guard with Some g -> go handler cb g | None -> cb in
+          link (go handler cb c.c_rhs) join
+        in
+        List.iter (do_case scrut_end (Some scrut)) val_cases;
+        (match handler_block with
+        | Some h -> List.iter (do_case h None) exc_cases
+        | None -> ());
+        join
+    | Texp_try (body, cases) ->
+        let h = mk handler in
+        let b = mk h.b_id in
+        link cur b;
+        let body_end = go h.b_id b body in
+        let join = mk handler in
+        link body_end join;
+        List.iter
+          (fun c ->
+            let cb = mk handler in
+            link h cb;
+            let cb = match c.c_guard with Some g -> go handler cb g | None -> cb in
+            link (go handler cb c.c_rhs) join)
+          cases;
+        join
+    | Texp_while (cond, body) ->
+        let header = mk handler in
+        link cur header;
+        let head_end = go handler header cond in
+        let bstart = mk handler in
+        let after = mk handler in
+        link head_end bstart;
+        link head_end after;
+        link (go handler bstart body) header;
+        after
+    | Texp_for (_, _, lo, hi, _, body) ->
+        let cur = go handler (go handler cur lo) hi in
+        let header = mk handler in
+        link cur header;
+        let bstart = mk handler in
+        let after = mk handler in
+        link header bstart;
+        link header after;
+        link (go handler bstart body) header;
+        after
+    | Texp_assert (cond, _) -> (
+        let cur = go handler cur cond in
+        add cur (S_expr e);
+        link_exc cur handler;
+        (* [assert false] never falls through *)
+        match cond.exp_desc with
+        | Texp_construct (_, { Types.cstr_name = "false"; _ }, []) ->
+            let dead = mk handler in
+            dead
+        | _ -> cur)
+    | Texp_function _ | Texp_lazy _ ->
+        add cur (S_expr e);
+        cur
+    | Texp_letmodule (_, _, _, _, body) | Texp_open (_, body) -> go handler cur body
+    | Texp_apply (fn, args) ->
+        let cur = go handler cur fn in
+        let cur =
+          List.fold_left
+            (fun cur (_, a) -> match a with Some a -> go handler cur a | None -> cur)
+            cur args
+        in
+        add cur (S_expr e);
+        if as_raise e <> None then begin
+          link_exc cur handler;
+          mk handler (* unreachable continuation *)
+        end
+        else if is_exit e then mk handler
+        else begin
+          (* guarded calls can transfer control to their handler;
+             unguarded exceptions leave the function (see header) *)
+          if handler <> exc_exit.b_id then link_exc cur handler;
+          cur
+        end
+    | _ ->
+        let cur = List.fold_left (go handler) cur (direct_children e) in
+        add cur (S_expr e);
+        cur
+  in
+  let final = go exc_exit.b_id entry root in
+  link final exit_b;
+  let arr = Array.make !next entry in
+  List.iter
+    (fun b ->
+      b.b_stmts <- List.rev b.b_stmts;
+      b.b_succ <- List.sort_uniq compare b.b_succ;
+      b.b_exc <- List.sort_uniq compare b.b_exc;
+      arr.(b.b_id) <- b)
+    !blocks;
+  { cf_blocks = arr; cf_entry = entry.b_id; cf_exit = exit_b.b_id; cf_exc_exit = exc_exit.b_id }

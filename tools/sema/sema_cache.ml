@@ -16,7 +16,7 @@
 
 type entry = { digest : string; analysis : Sema_rules.unit_analysis }
 
-let version = 4
+let version = 5
 
 let digest_of_files paths =
   paths

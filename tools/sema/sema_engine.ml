@@ -3,7 +3,17 @@ module E = Report_engine
 
 let marker = "dcache-sema:"
 
-type stats = { units : int; cache_hits : int }
+type stats = {
+  units : int;
+  cache_hits : int;
+  cfg_blocks : int;  (* basic blocks built (or replayed from cache) across all units *)
+  df_iterations : int;  (* per-unit dataflow sweeps to fixpoint, summed *)
+  summary_nodes : int;  (* distinct keys in the call-graph summary *)
+  summary_sccs : int;  (* Tarjan SCC count over the resolved call graph *)
+  summary_rounds : int;  (* sweeps to the facts fixpoint *)
+  exn_rounds : int;  (* sweeps to the may-raise fixpoint *)
+  escape_rounds : int;  (* sweeps to the parameter-escape fixpoint *)
+}
 
 (* A stale suppression: a "dcache-sema: allow" comment that suppressed
    nothing this run.  (normalized path, line, trimmed comment text). *)
@@ -87,6 +97,8 @@ let analyze_unit (info : Sema_cmt.unit_info) =
           ua_exports = [];
           ua_uses = [];
           ua_graph = Callgraph.empty_graph;
+          ua_blocks = 0;
+          ua_iters = 0;
         }
   | Ok (Some decoded) ->
       let exports_with_docs =
@@ -94,23 +106,30 @@ let analyze_unit (info : Sema_cmt.unit_info) =
         | Some sg, Some mli_path -> Sema_rules.exports_of_interface ~mli_path sg
         | _ -> []
       in
-      let findings, uses, graph =
+      let findings, uses, graph, blocks, iters =
         match decoded.impl with
-        | None -> ([], [], Callgraph.empty_graph)
+        | None -> ([], [], Callgraph.empty_graph, 0, 0)
         | Some structure ->
-            let findings, uses =
-              Sema_rules.check_implementation ~ml_path:decoded.ml_source
-                ~mli_vals:exports_with_docs structure
+            let findings, uses, s8_blocks, s8_iters =
+              Sema_rules.check_implementation ~ml_path:decoded.ml_source structure
             in
             let unit_name = Sema_rules.strip_mangling (unit_name_of_source decoded.ml_source) in
-            (findings, uses, Callgraph.extract ~unit_name ~ml_path:decoded.ml_source structure)
+            let graph = Callgraph.extract ~unit_name ~ml_path:decoded.ml_source structure in
+            ( findings,
+              uses,
+              graph,
+              s8_blocks + graph.Callgraph.ug_blocks,
+              s8_iters + graph.Callgraph.ug_iters )
       in
       Ok
         {
           Sema_rules.ua_findings = findings;
-          ua_exports = List.map (fun (n, l, p, _doc) -> (n, l, p)) exports_with_docs;
+          ua_exports = exports_with_docs;
           ua_uses = uses;
           ua_graph = graph;
+          (* cached with the unit so warm runs report the same numbers *)
+          ua_blocks = blocks;
+          ua_iters = iters;
         }
 
 (* The digest covers the analyzer-version stamp plus the unit's cmt
@@ -143,7 +162,7 @@ let s3_findings ~scope units =
   List.concat_map
     (fun ((info : Sema_cmt.unit_info), (ua : Sema_rules.unit_analysis), unit_name) ->
       List.filter_map
-        (fun (value, line, mli_path) ->
+        (fun (value, line, mli_path, _doc) ->
           let mli_path = F.normalize_path mli_path in
           if not (has_prefix scope mli_path) then None
           else
@@ -215,11 +234,44 @@ let run ?cache_file ?(scope = "lib/") ?(stamp = Sema_rules.analyzer_version) ~so
     List.map (fun (_, (ua : Sema_rules.unit_analysis), _) -> ua.ua_graph) units
   in
   let summary = Summary.build graphs in
-  let interproc =
-    Sema_interproc.findings summary graphs
-    |> List.filter (fun f -> has_prefix scope f.F.path)
+  (* the public contracts S2v2 audits: exports of scoped .mlis, keyed
+     like the call graph keys top-level bindings of their unit *)
+  let exports =
+    List.concat_map
+      (fun (_, (ua : Sema_rules.unit_analysis), unit_name) ->
+        List.filter_map
+          (fun (value, line, mli_path, doc) ->
+            let mli_path = F.normalize_path mli_path in
+            if not (Sema_rules.s2_scope mli_path) then None
+            else
+              Some
+                {
+                  Sema_interproc.ex_key = (unit_name, value);
+                  ex_mli_line = line;
+                  ex_mli_path = mli_path;
+                  ex_doc = doc;
+                })
+          ua.ua_exports)
+      units
   in
+  let interproc, ip_stats = Sema_interproc.findings summary ~exports graphs in
+  let interproc = List.filter (fun f -> has_prefix scope f.F.path) interproc in
   let raw = List.sort_uniq F.compare (local @ s3 @ interproc) in
   let findings, used = suppress_tracked ~source_root raw in
   let stale = stale_suppressions ~source_root ~scope ~used in
-  (findings, { units = List.length units; cache_hits = !hits }, List.rev !errors, stale)
+  let stats =
+    {
+      units = List.length units;
+      cache_hits = !hits;
+      cfg_blocks =
+        List.fold_left (fun n (_, (ua : Sema_rules.unit_analysis), _) -> n + ua.ua_blocks) 0 units;
+      df_iterations =
+        List.fold_left (fun n (_, (ua : Sema_rules.unit_analysis), _) -> n + ua.ua_iters) 0 units;
+      summary_nodes = List.length summary.Summary.order;
+      summary_sccs = Summary.scc_count summary;
+      summary_rounds = summary.Summary.s_rounds;
+      exn_rounds = ip_stats.Sema_interproc.ip_exn_rounds;
+      escape_rounds = ip_stats.Sema_interproc.ip_escape_rounds;
+    }
+  in
+  (findings, stats, List.rev !errors, stale)

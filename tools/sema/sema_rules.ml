@@ -1,13 +1,15 @@
 (* The S-rules: typed checks over one compilation unit's Typedtree,
    read back from the .cmt/.cmti files dune produces with -bin-annot.
 
-   Everything in this module is intraprocedural and syntactic-over-
-   types: rules look at what an expression *is* (its type, its path
-   after module aliasing was resolved by the typechecker), not at what
-   callees do.  Cross-function behaviour lives in the summary layer
-   ([Callgraph] + [Summary] + [Sema_interproc]), which powers S1's
-   escape check, S6 and S7.  docs/STATIC_ANALYSIS.md documents the
-   split and the limits. *)
+   Most of this module is intraprocedural and syntactic-over-types:
+   rules look at what an expression *is* (its type, its path after
+   module aliasing was resolved by the typechecker), not at what
+   callees do.  S8 goes one step further and runs the [Cfg]/[Dataflow]
+   engine per function body, but still within one unit.  Cross-
+   function behaviour lives in the summary layer ([Callgraph] +
+   [Summary] + [Sema_interproc]), which powers S1's allocation and
+   escape checks, S2's exception flow, S6 and S7.
+   docs/STATIC_ANALYSIS.md documents the split and the limits. *)
 
 open Typedtree
 module F = Report_finding
@@ -16,15 +18,18 @@ module F = Report_finding
    every unit digest, so a rules update invalidates the incremental
    cache wholesale and stale cached analyses cannot mask new
    findings. *)
-let analyzer_version = "6"
+let analyzer_version = "7"
 
 let catalog =
   [
     ( "S1",
       "hot-path allocation: closures, tuples, lists, arrays or boxed floats in [@@hot] loops \
-       (including, via call-graph summaries, allocations hidden in callees); copying Array \
-       builtins anywhere in a [@@hot] body" );
-    ("S2", "exception escape: undocumented exceptions escaping public lib/core / lib/baselines values");
+       (including, via call-graph summaries, allocations hidden in callees, and record or \
+       constructor literals the escape analysis proves iteration-local); copying Array builtins \
+       anywhere in a [@@hot] body" );
+    ( "S2",
+      "exception escape: undocumented exceptions escaping public lib/core / lib/baselines \
+       values, tracked interprocedurally through unguarded callee chains" );
     ("S3", "dead export: .mli value never referenced outside its own library");
     ("S4", "numeric stability: float cost accumulator folded with bare +. in a loop");
     ( "S5",
@@ -36,6 +41,10 @@ let catalog =
     ( "S7",
       "domain safety: a task passed to Pool.parallel_init/parallel_map must not mutate captured \
        or module-level state without a Mutex" );
+    ( "S8",
+      "lock/resource discipline: on every CFG path (exceptional ones included) Mutex.lock must \
+       reach Mutex.unlock and a Unix.socket/openfile/accept result must reach Unix.close or an \
+       explicit hand-off" );
   ]
 
 (* The per-unit result the engine caches (keyed by stamp+cmt digest):
@@ -45,9 +54,12 @@ let catalog =
    [exports]/[uses]/[graph] afterwards. *)
 type unit_analysis = {
   ua_findings : F.t list;
-  ua_exports : (string * int * string) list;  (* value, .mli line, .mli path *)
+  ua_exports : (string * int * string * string) list;
+      (* value, .mli line, .mli path, doc comment (S2v2 checks @raise) *)
   ua_uses : (string * string) list;  (* (unit, value) referenced via a module path *)
   ua_graph : Callgraph.unit_graph;
+  ua_blocks : int;  (* CFG blocks built for this unit (S8 + callgraph) *)
+  ua_iters : int;  (* dataflow sweeps to fixpoint for this unit *)
 }
 
 (* ---------------------------------------------------------------- paths *)
@@ -276,101 +288,373 @@ let check_s5 ~path add structure =
       | _ -> ())
     structure.str_items
 
-(* -------------------------------------------------- S2: exception escape *)
+(* --------------------------------- S8: lock and resource discipline *)
 
-(* Exceptions a public function raises directly (outside any [try]
-   body) must be named in an [@raise] doc clause of its .mli val, or
-   the function must return a [result].  Intraprocedural: exceptions
-   propagating through callees are each callee's contract. *)
+(* Two forward dataflow problems over the per-body [Cfg], one per
+   function body in the unit:
 
-let try_spans structure =
-  let spans = ref [] in
+   - lock balance: on every path out of a body (normal return and the
+     exceptional edge alike) every [Mutex.lock m] must be matched by a
+     [Mutex.unlock m].  A [raise] executed while a lock is held is the
+     classic deadlock-on-error; the fix is [Fun.protect
+     ~finally:(fun () -> Mutex.unlock m)] around the critical section
+     (the [~finally] thunk is credited as an unlock).  Paths that
+     disagree on a balance (conditional locking) join to [Conflict]
+     and stay silent: that is a caller protocol, not a provable leak.
+
+   - resource release: a file descriptor bound from [Unix.socket],
+     [Unix.openfile] or [Unix.accept] must reach [Unix.close] on every
+     path.  Other [Unix.*] calls on the fd (bind/listen/setsockopt/
+     read/...) keep it tracked; any other consuming use — returned,
+     stored, captured by a closure, passed to a non-[Unix] function —
+     is an ownership transfer and silently ends tracking (the new
+     owner's contract, not this body's). *)
+
+type s8_lock_state = Bal of int | Conflict
+
+module S8_lock_lattice = struct
+  (* Balance per lock name; [Unreached] = no path here yet; a missing
+     key means balance 0 (lists are normalized: sorted, no [Bal 0]). *)
+  type fact = Unreached | Locks of (string * s8_lock_state) list
+
+  let bottom = Unreached
+  let equal = ( = )
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Locks a, Locks b ->
+        (* one-sided key: the other path holds it at balance 0 *)
+        let rec go a b =
+          match (a, b) with
+          | [], [] -> []
+          | (k, _) :: ra, [] -> (k, Conflict) :: go ra []
+          | [], (k, _) :: rb -> (k, Conflict) :: go [] rb
+          | (ka, sa) :: ra, (kb, sb) :: rb ->
+              if String.compare ka kb < 0 then (ka, Conflict) :: go ra b
+              else if String.compare kb ka < 0 then (kb, Conflict) :: go a rb
+              else
+                let s =
+                  match (sa, sb) with Bal x, Bal y when x = y -> Bal x | _ -> Conflict
+                in
+                (ka, s) :: go ra rb
+        in
+        Locks (go a b)
+end
+
+module S8_lock_flow = Dataflow.Make (S8_lock_lattice)
+module S8_res_flow = Dataflow.Make (Callgraph.EscapeLattice)
+
+let s8_first_positional args =
+  List.find_map (function Asttypes.Nolabel, (Some _ as a) -> a | _ -> None) args
+
+let s8_finally_arg args =
+  List.find_map
+    (fun (lbl, a) ->
+      match (lbl, a) with Asttypes.Labelled "finally", Some f -> Some f | _ -> None)
+    args
+
+(* Render the lock operand as source-ish text ("m", "t.lock") so the
+   two sides of a lock/unlock pair match by spelling. *)
+let rec s8_lvalue_name e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (Path.last p)
+  | Texp_field (r, _, lbl) ->
+      Some
+        ((match s8_lvalue_name r with Some b -> b ^ "." | None -> "")
+        ^ lbl.Types.lbl_name)
+  | _ -> None
+
+let s8_lock_operand args =
+  match s8_first_positional args with
+  | Some a -> ( match s8_lvalue_name a with Some n -> n | None -> "<mutex>")
+  | None -> "<mutex>"
+
+(* Everything a [Fun.protect ~finally] thunk releases, wherever the
+   release sits inside the thunk: lock names unlocked, fd idents
+   closed. *)
+let s8_finally_releases finally =
+  let unlocks = ref [] in
+  let closes = ref [] in
   let it =
     {
       Tast_iterator.default_iterator with
       expr =
         (fun self e ->
           (match e.exp_desc with
-          | Texp_try (body, _) -> spans := body.exp_loc :: !spans
-          | _ -> ());
-          Tast_iterator.default_iterator.expr self e);
-    }
-  in
-  it.structure it structure;
-  !spans
-
-let loc_inside ~outer loc =
-  let s = outer.Location.loc_start and e = outer.Location.loc_end in
-  let p = loc.Location.loc_start in
-  p.Lexing.pos_cnum >= s.Lexing.pos_cnum && p.Lexing.pos_cnum <= e.Lexing.pos_cnum
-
-let raised_exceptions ~spans expr =
-  let acc = ref [] in
-  let note loc exn = if not (List.exists (fun l -> loc_inside ~outer:l loc) spans) then acc := (exn, loc) :: !acc in
-  let it =
-    {
-      Tast_iterator.default_iterator with
-      expr =
-        (fun self e ->
-          (match e.exp_desc with
-          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
-              if path_is p "Stdlib.invalid_arg" then note e.exp_loc "Invalid_argument"
-              else if path_is p "Stdlib.failwith" then note e.exp_loc "Failure"
-              else if path_is p "Stdlib.raise" || path_is p "Stdlib.raise_notrace" then
-                List.iter
-                  (fun (_, arg) ->
-                    match arg with
-                    | Some { exp_desc = Texp_construct (_, cd, _); _ } ->
-                        note e.exp_loc cd.Types.cstr_name
-                    | _ -> ())
-                  args
-          | _ -> ());
-          Tast_iterator.default_iterator.expr self e);
-    }
-  in
-  it.expr it expr;
-  !acc
-
-let check_s2 ~spans ~mli_vals add structure =
-  List.iter
-    (fun item ->
-      match item.str_desc with
-      | Tstr_value (_, vbs) ->
-          List.iter
-            (fun vb ->
-              match vb.vb_pat.pat_desc with
-              | Tpat_var (id, _) -> (
-                  let name = Ident.name id in
-                  match List.find_opt (fun (n, _, _, _) -> n = name) mli_vals with
-                  | None -> ()
-                  | Some (_, mli_line, mli_path, doc) ->
-                      let undocumented exn =
-                        not
-                          (let has_raise =
-                             (* any @raise clause plus the exception's name
-                                anywhere in the doc: formats vary *)
-                             let contains hay needle =
-                               let nl = String.length needle and hl = String.length hay in
-                               let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-                               go 0
-                             in
-                             contains doc "@raise" && contains doc exn
-                           in
-                           has_raise)
-                      in
-                      raised_exceptions ~spans vb.vb_expr
-                      |> List.iter (fun (exn, _loc) ->
-                             if undocumented exn then
-                               add
-                                 (F.v ~path:mli_path ~line:mli_line ~col:0 ~rule:"S2"
-                                    (Printf.sprintf
-                                       "`%s` can escape `val %s` but its doc has no `@raise %s`: \
-                                        document it or return a `result`"
-                                       exn name exn))))
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+              match use_of_path p with
+              | Some ("Mutex", "unlock") -> unlocks := s8_lock_operand args :: !unlocks
+              | Some (("Unix" | "UnixLabels"), "close") -> (
+                  match s8_first_positional args with
+                  | Some { exp_desc = Texp_ident (Path.Pident id, _, _); _ } ->
+                      closes := id :: !closes
+                  | _ -> ())
               | _ -> ())
-            vbs
-      | _ -> ())
-    structure.str_items
+          | _ -> ());
+          Tast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it finally;
+  (!unlocks, !closes)
+
+(* A statement's lock effects: [(name, +1|-1)] deltas. *)
+let s8_lock_effects stmt =
+  match stmt with
+  | Cfg.S_bind _ -> []
+  | Cfg.S_expr e -> (
+      match e.exp_desc with
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+          match use_of_path p with
+          | Some ("Mutex", "lock") -> [ (s8_lock_operand args, 1) ]
+          | Some ("Mutex", "unlock") -> [ (s8_lock_operand args, -1) ]
+          | Some ("Fun", "protect") -> (
+              match s8_finally_arg args with
+              | Some f -> List.map (fun l -> (l, -1)) (fst (s8_finally_releases f))
+              | None -> [])
+          | _ -> [])
+      | _ -> [])
+
+let s8_lock_transfer fact stmt =
+  match fact with
+  | S8_lock_lattice.Unreached -> S8_lock_lattice.Unreached
+  | S8_lock_lattice.Locks l -> (
+      match s8_lock_effects stmt with
+      | [] -> fact
+      | effects ->
+          let l =
+            List.fold_left
+              (fun l (name, d) ->
+                let rec upd = function
+                  | [] -> [ (name, Bal d) ]
+                  | (k, s) :: rest ->
+                      if k = name then
+                        (k, match s with Bal n -> Bal (n + d) | Conflict -> Conflict) :: rest
+                      else if String.compare k name < 0 then (k, s) :: upd rest
+                      else (name, Bal d) :: (k, s) :: rest
+                in
+                upd l)
+              l effects
+          in
+          S8_lock_lattice.Locks (List.filter (fun (_, s) -> s <> Bal 0) l))
+
+(* Lock names provably held (positive balance on every path). *)
+let s8_held = function
+  | S8_lock_lattice.Unreached -> []
+  | S8_lock_lattice.Locks l ->
+      List.filter_map (fun (k, s) -> match s with Bal n when n > 0 -> Some k | _ -> None) l
+
+let s8_acquire rhs =
+  match rhs.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
+      match use_of_path p with
+      | Some (("Unix" | "UnixLabels"), (("socket" | "openfile" | "accept") as fn)) -> Some fn
+      | _ -> None)
+  | _ -> None
+
+(* A statement's effect on the set of open fds.  [`Transfer] is any
+   consuming use that moves ownership out of this body. *)
+let s8_res_effect ~is_tracked stmt =
+  let tgt e =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) when is_tracked id -> Some id
+    | _ -> None
+  in
+  let tgts es = List.filter_map tgt es in
+  match stmt with
+  | Cfg.S_bind (_, id, rhs) when s8_acquire rhs <> None && is_tracked id -> `Acquire id
+  | Cfg.S_bind (Cfg.Whole, _, rhs) -> `Transfer (Option.to_list (tgt rhs))
+  | Cfg.S_bind (Cfg.Part, _, _) -> `Keep
+  | Cfg.S_expr e -> (
+      match e.exp_desc with
+      | Texp_ident _ | Texp_field _ -> `Keep
+      | Texp_setfield (_, _, _, rhs) -> `Transfer (Option.to_list (tgt rhs))
+      | Texp_function _ | Texp_lazy _ ->
+          `Transfer (Callgraph.captured_targets ~is_target:is_tracked e)
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+          let arg_ids = tgts (List.filter_map (fun (_, a) -> a) args) in
+          match use_of_path p with
+          | Some (("Unix" | "UnixLabels"), "close") -> (
+              match s8_first_positional args with
+              | Some { exp_desc = Texp_ident (Path.Pident id, _, _); _ } when is_tracked id ->
+                  `Close id
+              | _ -> `Keep)
+          | Some (("Unix" | "UnixLabels"), _) -> `Keep
+          | _ -> if arg_ids = [] then `Keep else `Transfer arg_ids)
+      | Texp_apply (_, args) -> `Transfer (tgts (List.filter_map (fun (_, a) -> a) args))
+      | _ -> `Transfer (tgts (Cfg.direct_children e)))
+
+let check_s8 ~path add structure =
+  let blocks = ref 0 in
+  let iters = ref 0 in
+  let do_body ~fname body =
+    let cfg = Cfg.build body in
+    blocks := !blocks + Cfg.n_blocks cfg;
+    (* ---------------- lock balance ---------------- *)
+    let lock_res =
+      S8_lock_flow.solve Dataflow.Forward cfg ~init:(S8_lock_lattice.Locks [])
+        ~transfer:s8_lock_transfer
+    in
+    iters := !iters + lock_res.S8_lock_flow.iterations;
+    (* earliest lock site per name, to anchor return-path findings *)
+    let first_lock = Hashtbl.create 4 in
+    Array.iter
+      (fun b ->
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Cfg.S_expr e -> (
+                match e.exp_desc with
+                | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+                  when use_of_path p = Some ("Mutex", "lock") -> (
+                    let l = s8_lock_operand args in
+                    match Hashtbl.find_opt first_lock l with
+                    | Some (loc : Location.t)
+                      when loc.loc_start.Lexing.pos_lnum <= e.exp_loc.Location.loc_start.Lexing.pos_lnum
+                      ->
+                        ()
+                    | _ -> Hashtbl.replace first_lock l e.exp_loc)
+                | _ -> ())
+            | Cfg.S_bind _ -> ())
+          b.Cfg.b_stmts)
+      cfg.Cfg.cf_blocks;
+    (* a raise executed with a positive balance, outside any handler *)
+    Array.iter
+      (fun b ->
+        if b.Cfg.b_handler = cfg.Cfg.cf_exc_exit then begin
+          let fact = ref lock_res.S8_lock_flow.facts_in.(b.Cfg.b_id) in
+          List.iter
+            (fun stmt ->
+              (match stmt with
+              | Cfg.S_expr e when Cfg.as_raise e <> None ->
+                  List.iter
+                    (fun l ->
+                      add
+                        (F.make ~path ~loc:e.exp_loc ~rule:"S8"
+                           (Printf.sprintf
+                              "raise while mutex `%s` is held in `%s`: release the lock on the \
+                               exceptional path too (wrap the critical section in `Fun.protect \
+                               ~finally:(fun () -> Mutex.unlock %s)`, or unlock before re-raising)"
+                              l fname l)))
+                    (s8_held !fact)
+              | _ -> ());
+              fact := s8_lock_transfer !fact stmt)
+            b.Cfg.b_stmts
+        end)
+      cfg.Cfg.cf_blocks;
+    (* locks still held when the body returns normally *)
+    List.iter
+      (fun l ->
+        match Hashtbl.find_opt first_lock l with
+        | Some loc ->
+            add
+              (F.make ~path ~loc ~rule:"S8"
+                 (Printf.sprintf
+                    "`Mutex.lock %s` in `%s` does not reach `Mutex.unlock` on the normal return \
+                     path: every way out of the function must release the lock"
+                    l fname))
+        | None -> ())
+      (s8_held lock_res.S8_lock_flow.facts_in.(cfg.Cfg.cf_exit));
+    (* ---------------- resource release ---------------- *)
+    let tails = Cfg.tail_idents body [] in
+    let tracked = Hashtbl.create 4 in
+    let tracked_order = ref [] in
+    Array.iter
+      (fun b ->
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Cfg.S_bind (_, id, rhs) -> (
+                match s8_acquire rhs with
+                | Some fn when not (List.exists (Ident.same id) tails) ->
+                    let uid = Ident.unique_name id in
+                    if not (Hashtbl.mem tracked uid) then begin
+                      Hashtbl.add tracked uid ();
+                      tracked_order := (uid, Ident.name id, fn, rhs.exp_loc) :: !tracked_order
+                    end
+                | _ -> ())
+            | Cfg.S_expr _ -> ())
+          b.Cfg.b_stmts)
+      cfg.Cfg.cf_blocks;
+    if Hashtbl.length tracked > 0 then begin
+      let is_tracked id = Hashtbl.mem tracked (Ident.unique_name id) in
+      let transfer fact stmt =
+        match s8_res_effect ~is_tracked stmt with
+        | `Acquire id -> Callgraph.StrSet.add (Ident.unique_name id) fact
+        | `Close id -> Callgraph.StrSet.remove (Ident.unique_name id) fact
+        | `Transfer ids ->
+            List.fold_left (fun f id -> Callgraph.StrSet.remove (Ident.unique_name id) f) fact ids
+        | `Keep -> fact
+      in
+      let res =
+        S8_res_flow.solve Dataflow.Forward cfg ~init:Callgraph.StrSet.empty ~transfer
+      in
+      iters := !iters + res.S8_res_flow.iterations;
+      let exc_open = res.S8_res_flow.facts_in.(cfg.Cfg.cf_exc_exit) in
+      let ret_open = res.S8_res_flow.facts_in.(cfg.Cfg.cf_exit) in
+      List.iter
+        (fun (uid, var, fn, loc) ->
+          if Callgraph.StrSet.mem uid exc_open then
+            add
+              (F.make ~path ~loc ~rule:"S8"
+                 (Printf.sprintf
+                    "`%s` from `Unix.%s` in `%s` leaks when an exception is raised before \
+                     `Unix.close`: close it in a `Fun.protect ~finally` (or close before raising)"
+                    var fn fname))
+          else if Callgraph.StrSet.mem uid ret_open then
+            add
+              (F.make ~path ~loc ~rule:"S8"
+                 (Printf.sprintf
+                    "`%s` from `Unix.%s` in `%s` never reaches `Unix.close` on some return path: \
+                     close it on every way out (or hand it off explicitly)"
+                    var fn fname)))
+        (List.rev !tracked_order)
+    end
+  in
+  let do_vb vb =
+    let fname =
+      match vb.vb_pat.pat_desc with Tpat_var (id, _) -> Ident.name id | _ -> "<binding>"
+    in
+    let bodies = ref [] in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun self e ->
+            (match e.exp_desc with
+            | Texp_function { cases; _ } ->
+                List.iter
+                  (fun c ->
+                    if not (Callgraph.is_function c.c_rhs) then bodies := c.c_rhs :: !bodies)
+                  cases
+            | _ -> ());
+            Tast_iterator.default_iterator.expr self e);
+      }
+    in
+    it.expr it vb.vb_expr;
+    if not (Callgraph.is_function vb.vb_expr) then bodies := vb.vb_expr :: !bodies;
+    List.iter (do_body ~fname) (List.rev !bodies)
+  in
+  let rec do_str str =
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) -> List.iter do_vb vbs
+        | Tstr_module mb -> do_mod mb
+        | Tstr_recmodule mbs -> List.iter do_mod mbs
+        | _ -> ())
+      str.str_items
+  and do_mod mb =
+    let rec structure_of me =
+      match me.mod_desc with
+      | Tmod_structure str -> Some str
+      | Tmod_constraint (me, _, _, _) -> structure_of me
+      | _ -> None
+    in
+    match structure_of mb.mb_expr with Some str -> do_str str | None -> ()
+  in
+  do_str structure;
+  (!blocks, !iters)
 
 (* ----------------------------------------------- S4: numeric stability *)
 
@@ -532,8 +816,10 @@ let exports_of_interface ~mli_path signature =
 
 (* --------------------------------------------------------- entry points *)
 
-(* S2 applies where the paper's public contracts live; S4 is skipped
-   inside the module that implements the sanctioned accumulators. *)
+(* S2 applies where the paper's public contracts live (the engine
+   filters exports through this before handing them to
+   [Sema_interproc.s2v2]); S4 is skipped inside the module that
+   implements the sanctioned accumulators. *)
 let s2_scope path =
   let p = F.normalize_path path in
   let starts prefix =
@@ -543,14 +829,11 @@ let s2_scope path =
 
 let s4_exempt path = Filename.check_suffix (F.normalize_path path) "prelude/stats.ml"
 
-let check_implementation ~ml_path ~mli_vals structure =
+let check_implementation ~ml_path structure =
   let findings = ref [] in
   let add f = findings := f :: !findings in
   check_s1 ~path:ml_path add structure;
   check_s5 ~path:ml_path add structure;
-  if s2_scope ml_path then begin
-    let spans = try_spans structure in
-    check_s2 ~spans ~mli_vals add structure
-  end;
+  let s8_blocks, s8_iters = check_s8 ~path:ml_path add structure in
   if not (s4_exempt ml_path) then check_s4 ~path:ml_path add structure;
-  (List.sort_uniq F.compare !findings, collect_uses structure)
+  (List.sort_uniq F.compare !findings, collect_uses structure, s8_blocks, s8_iters)

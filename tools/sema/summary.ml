@@ -22,13 +22,17 @@ type entry = {
   mutable e_facts : C.facts;  (* transitive *)
 }
 
-type t = { entries : (C.key, entry) Hashtbl.t; order : C.key list }
+type t = {
+  entries : (C.key, entry) Hashtbl.t;
+  order : C.key list;
+  mutable s_rounds : int;  (* worklist sweeps to reach the facts fixpoint *)
+}
 
 let find t alternatives = List.find_map (fun k -> Hashtbl.find_opt t.entries k) alternatives
 
 (* key collisions (same (module, name) in two units, e.g. the [main]
-   of several executables) merge conservatively: facts and edges
-   union, hot if either side was *)
+   of several executables) merge conservatively: facts, edges, raises
+   and escape verdicts union, hot if either side was *)
 let merge a b =
   {
     e_node =
@@ -37,6 +41,10 @@ let merge a b =
         C.nd_hot = a.e_node.C.nd_hot || b.C.nd_hot;
         nd_facts = C.union a.e_node.C.nd_facts b.C.nd_facts;
         nd_candidate = a.e_node.C.nd_candidate || b.C.nd_candidate;
+        nd_raises = a.e_node.C.nd_raises @ b.C.nd_raises;
+        nd_unguarded = a.e_node.C.nd_unguarded @ b.C.nd_unguarded;
+        nd_pescape = a.e_node.C.nd_pescape || b.C.nd_pescape;
+        nd_pfwd = a.e_node.C.nd_pfwd @ b.C.nd_pfwd;
       };
     e_callees = a.e_callees @ b.C.nd_calls;
     e_facts = C.no_facts;
@@ -60,7 +68,7 @@ let build graphs =
     List.concat_map (fun g -> List.map (fun (n : C.node) -> n.C.nd_key) g.C.ug_nodes) graphs
     |> List.sort_uniq compare
   in
-  let t = { entries; order } in
+  let t = { entries; order; s_rounds = 0 } in
   List.iter
     (fun k -> match Hashtbl.find_opt entries k with
       | Some e -> e.e_facts <- e.e_node.C.nd_facts
@@ -69,6 +77,7 @@ let build graphs =
   let changed = ref true in
   while !changed do
     changed := false;
+    t.s_rounds <- t.s_rounds + 1;
     List.iter
       (fun k ->
         match Hashtbl.find_opt entries k with
@@ -95,6 +104,58 @@ let build graphs =
   done;
   t
 
+(* ----------------------------------------------------------- structure *)
+
+(* Tarjan SCC count over the resolved call graph, visiting roots and
+   edges in recorded (sorted/syntactic) order — a structural stat for
+   `--stats`, also pinning that mutual recursion stays a join-friendly
+   shape rather than a special case. *)
+let scc_count t =
+  let index = Hashtbl.create 256 in
+  let low = Hashtbl.create 256 in
+  let onstack = Hashtbl.create 256 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let count = ref 0 in
+  let rec strong k =
+    Hashtbl.replace index k !next;
+    Hashtbl.replace low k !next;
+    incr next;
+    stack := k :: !stack;
+    Hashtbl.replace onstack k ();
+    (match Hashtbl.find_opt t.entries k with
+    | None -> ()
+    | Some e ->
+        List.iter
+          (fun alts ->
+            match List.find_opt (fun k' -> Hashtbl.mem t.entries k') alts with
+            | None -> ()
+            | Some k' ->
+                if not (Hashtbl.mem index k') then begin
+                  strong k';
+                  Hashtbl.replace low k (min (Hashtbl.find low k) (Hashtbl.find low k'))
+                end
+                else if Hashtbl.mem onstack k' then
+                  Hashtbl.replace low k (min (Hashtbl.find low k) (Hashtbl.find index k')))
+          e.e_callees);
+    if Hashtbl.find low k = Hashtbl.find index k then begin
+      incr count;
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | k' :: rest ->
+            stack := rest;
+            Hashtbl.remove onstack k';
+            if compare k' k <> 0 then pop ()
+      in
+      pop ()
+    end
+  in
+  List.iter
+    (fun k -> if Hashtbl.mem t.entries k && not (Hashtbl.mem index k) then strong k)
+    t.order;
+  !count
+
 (* ------------------------------------------------------------- witnesses *)
 
 let pp_key (m, v) = m ^ "." ^ v
@@ -103,7 +164,7 @@ let pp_key (m, v) = m ^ "." ^ v
    satisfy [pred]: BFS in recorded-edge order, which is syntactic and
    therefore deterministic.  [through] prunes edges the fixpoint also
    ignored (the hot-callee allocation cutoff). *)
-let witness t ~root ~through ~pred =
+let witness_keys t ~root ~through ~pred =
   let seen = Hashtbl.create 64 in
   let rec bfs = function
     | [] -> None
@@ -130,6 +191,7 @@ let witness t ~root ~through ~pred =
                 bfs (rest @ next)
         end)
   in
-  match bfs [ (root, []) ] with
-  | Some keys -> String.concat " -> " (List.map pp_key keys)
-  | None -> pp_key root
+  match bfs [ (root, []) ] with Some keys -> keys | None -> [ root ]
+
+let witness t ~root ~through ~pred =
+  String.concat " -> " (List.map pp_key (witness_keys t ~root ~through ~pred))
