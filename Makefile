@@ -6,7 +6,7 @@
 BUILD := _build/default
 SARIF := _build/sarif
 
-.PHONY: all build test lint sema sema-self sarif check bench bench-json bench-baseline perf-gate bench-sema trace metrics-demo clean
+.PHONY: all build test lint sema sema-self sarif check bench bench-dp bench-json bench-baseline perf-gate bench-sema trace metrics-demo clean
 
 all: build
 
@@ -43,6 +43,11 @@ check: build test sarif sema-self
 
 bench: build
 	dune exec bench/main.exe -- quick
+
+# kernel-only subset: the offline DP group, the gated streaming push,
+# and the direct word/memo probes — for tight loops on the hot paths
+bench-dp: build
+	dune exec bench/main.exe -- dp
 
 # machine-readable timing/allocation snapshot (see docs/PERFORMANCE.md)
 bench-json: build

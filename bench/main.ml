@@ -10,6 +10,12 @@
                                                   #   timing cases (offline
                                                   #   n=4000, online n=10000)
                                                   #   and runs quick tables
+     dune exec bench/main.exe -- dp               # kernel-only subset: the
+                                                  #   offline DP group + the
+                                                  #   gated streaming push,
+                                                  #   plus the direct word and
+                                                  #   memo probes (make
+                                                  #   bench-dp)
      dune exec bench/main.exe -- json FILE        # timings only, written to
                                                   #   FILE as dcache-bench/1
                                                   #   JSON (BENCH_results.json)
@@ -63,6 +69,11 @@ let offline_tests ~quick =
        Test.make ~name:"reconstruct n=1000 m=8"
          (let r = Offline_dp.solve model seq_1k_m8 in
           Staged.stage (fun () -> ignore (Offline_dp.schedule r)));
+       Test.make ~name:"solve-memo warm n=1000 m=64"
+         ((* prime once so the timed iterations are digest-keyed hits *)
+          Solve_cache.clear ();
+          ignore (Solve_cache.solve model seq_1k_m64);
+          Staged.stage (fun () -> ignore (Offline_dp.cost (Solve_cache.solve model seq_1k_m64))));
      ]
     @ large)
 
@@ -273,6 +284,23 @@ let () =
     | _ :: rest -> json_path rest
     | [] -> None
   in
+  if List.exists (String.equal "dp") args then begin
+    (* kernel-only subset for tight edit-measure loops on the DP hot
+       paths: the offline group, the gated push case, and the direct
+       probes the perf gate enforces *)
+    print_endline "== DP kernel benchmarks ==";
+    print_group ("offline", offline_tests ~quick:true);
+    print_group ("extensions", Test.make_grouped ~name:"extensions" [ Bench_cases.streaming_push_test () ]);
+    ignore (check_words_budget ());
+    let rw = Bench_cases.reconstruct_minor_words () in
+    Printf.printf "reconstruct: %.3f minor words/run (budget %.0f)\n" rw
+      Bench_cases.max_reconstruct_words;
+    let mc = Bench_cases.solve_memo_cost () in
+    Printf.printf "solve memo: %.1f ns cold, %.1f ns warm (%.1fx, floor %.0fx)\n"
+      mc.Bench_cases.cold_ns mc.Bench_cases.warm_ns mc.Bench_cases.speedup
+      Bench_cases.min_solve_memo_speedup
+  end
+  else
   match json_path args with
   | Some path -> write_json ~quick path
   | None ->

@@ -9,6 +9,11 @@
      "extensions" / "streaming push x1000 m=6" entry,
    - [Streaming_dp.push] allocates more than
      [Bench_cases.max_words_per_push] minor words per request,
+   - warm (memoised) schedule reconstruction allocates more than
+     [Bench_cases.max_reconstruct_words] minor words per run,
+   - a memoised [Solve_cache.solve] hit is less than
+     [Bench_cases.min_solve_memo_speedup] times faster than the
+     uncached sweep,
    - the observability no-op contract is broken (a disabled probe
      allocates, or costs more than
      [Bench_cases.max_obs_overhead_frac] of a push), or
@@ -113,6 +118,22 @@ let () =
     fail_perf "streaming push regressed: %.1f ns/op > %.1f ns/op (baseline %.1f + %.0f%% budget)"
       fresh_ns limit base.Bench_json.ns_per_run
       ((regression_factor -. 1.0) *. 100.0);
+  (* reconstruction budget: warm (memoised) schedule re-derivation
+     must stay allocation-free *)
+  let rw = Bench_cases.reconstruct_minor_words () in
+  Printf.printf "reconstruct:   %12.3f minor words/run (budget %.0f)\n%!" rw
+    Bench_cases.max_reconstruct_words;
+  if rw > Bench_cases.max_reconstruct_words then
+    fail_perf "warm schedule reconstruction allocates %.1f minor words/run (budget %.0f)" rw
+      Bench_cases.max_reconstruct_words;
+  (* solve-memo budget: a digest-keyed hit must amortise the sweep *)
+  let mc = Bench_cases.solve_memo_cost () in
+  Printf.printf "solve memo:    %12.1f ns cold, %.1f ns warm (%.1fx, floor %.0fx)\n%!"
+    mc.Bench_cases.cold_ns mc.Bench_cases.warm_ns mc.Bench_cases.speedup
+    Bench_cases.min_solve_memo_speedup;
+  if mc.Bench_cases.speedup < Bench_cases.min_solve_memo_speedup then
+    fail_perf "memoised solve is only %.1fx faster than cold (floor %.0fx)"
+      mc.Bench_cases.speedup Bench_cases.min_solve_memo_speedup;
   (* second budget: the no-op observability contract *)
   let oc = Bench_cases.measure_obs_cost () in
   Printf.printf "obs no-op:     %12.3f ns/probe (%.6f words), %.3f%% of a push (budget %.1f%%)\n%!"

@@ -436,6 +436,8 @@ let serve_metrics_cmd =
           if Filename.check_suffix path ".csv" then Recorder.write_csv flight ~path
           else Recorder.write_json flight ~path
     in
+    let g_opt = Obs.gauge "serve.offline_opt_cost" in
+    let g_ratio = Obs.gauge "serve.sc_vs_opt" in
     let batch i =
       let seq =
         Dcache_workload.Generator.generate_seeded ~seed:(seed + i)
@@ -451,7 +453,14 @@ let serve_metrics_cmd =
         Streaming_dp.push stream ~server:(Sequence.server seq j) ~time:(Sequence.time seq j)
       done;
       ignore (Streaming_dp.cost stream);
-      ignore (Online_sc.run model seq)
+      (* the offline optimum has two independent consumers per batch —
+         the cost gauge and the SC-vs-OPT ratio — routed through the
+         digest-keyed memo, so each batch is one miss plus one hit and
+         the solve_cache.* counters below are live on /metrics *)
+      Obs.set_gauge g_opt (Offline_dp.cost (Solve_cache.solve model seq));
+      let sc_run = Online_sc.run model seq in
+      let opt = Offline_dp.cost (Solve_cache.solve model seq) in
+      if opt > 0.0 then Obs.set_gauge g_ratio (sc_run.Online_sc.total_cost /. opt)
     in
     let rec loop i =
       if batches = 0 || i < batches then begin
@@ -470,6 +479,9 @@ let serve_metrics_cmd =
     write_timeline ();
     Prom.close server;
     (match bridge with Some t -> Bridge.stop t | None -> ());
+    let cs = Solve_cache.stats () in
+    Printf.printf "dcache: solve memo: %d hits / %d misses, %d live entries (%d evicted)\n"
+      cs.Solve_cache.hits cs.Solve_cache.misses cs.Solve_cache.size cs.Solve_cache.evictions;
     Printf.printf "dcache: ran %d batches, kept %d timeline snapshots (%d dropped)\n" ran
       (Recorder.snapshots flight) (Recorder.dropped flight)
   in

@@ -64,46 +64,68 @@ let classic_lru ~capacity model seq =
   let m = Sequence.m seq in
   let cached_since = Array.make m nan in
   let last_use = Array.make m nan in
+  (* flat membership state (the Pqueue.Flat discipline): a bool column
+     plus a count instead of a cons list, so the hit test is one load
+     and the MRU/LRU extrema are closure- and cell-free scans — the
+     old list walk burned ~80k minor words/run on List.mem, the fold
+     closures and List.filter *)
+  let in_cache = Array.make m false in
+  let count = ref 1 in
+  in_cache.(0) <- true;
   cached_since.(0) <- 0.0;
   last_use.(0) <- 0.0;
-  let members = ref [ 0 ] in
   let caches = ref [] and transfers = ref [] in
   let add_cache server from_time to_time =
     if to_time > from_time then
       caches := { Schedule.server; from_time; to_time } :: !caches
   in
-  (* total extremum over the membership list: [None] on an empty cache
+  (* total extrema over the member columns: [-1] on an empty cache
      set, which is reachable in principle once a policy variant evicts
-     every member *)
-  let extreme_by better = function
-    | [] -> None
-    | k :: rest ->
-        Some
-          (List.fold_left (fun best k' -> if better last_use.(k') last_use.(best) then k' else best) k rest)
+     every member.  Distinct request times make ties impossible, so
+     the strict comparisons pick the same member the old
+     first-wins list fold did. *)
+  let mru () =
+    let best = ref (-1) in
+    for k = 0 to m - 1 do
+      if in_cache.(k) && (!best < 0 || last_use.(k) > last_use.(!best)) then best := k
+    done;
+    !best
+  in
+  let lru () =
+    let best = ref (-1) in
+    for k = 0 to m - 1 do
+      if in_cache.(k) && (!best < 0 || last_use.(k) < last_use.(!best)) then best := k
+    done;
+    !best
   in
   for i = 1 to Sequence.n seq do
     let s = Sequence.server seq i and ti = Sequence.time seq i in
-    if List.mem s !members then last_use.(s) <- ti
+    if in_cache.(s) then last_use.(s) <- ti
     else begin
       (* miss: bring the copy in from the most recently used member,
          or re-upload from external storage if no member holds one *)
-      (match extreme_by (fun a b -> a > b) !members with
-      | Some mru -> transfers := transfer mru s ti :: !transfers
-      | None -> transfers := { Schedule.src = Schedule.From_external; dst = s; time = ti } :: !transfers);
-      members := s :: !members;
+      (match mru () with
+      | -1 ->
+          transfers := { Schedule.src = Schedule.From_external; dst = s; time = ti } :: !transfers
+      | src -> transfers := transfer src s ti :: !transfers);
+      in_cache.(s) <- true;
+      incr count;
       cached_since.(s) <- ti;
       last_use.(s) <- ti;
-      if List.length !members > capacity then begin
-        match extreme_by (fun a b -> a < b) !members with
-        | Some lru ->
-            members := List.filter (fun k -> k <> lru) !members;
-            add_cache lru cached_since.(lru) ti
-        | None -> ()
+      if !count > capacity then begin
+        match lru () with
+        | -1 -> ()
+        | victim ->
+            in_cache.(victim) <- false;
+            decr count;
+            add_cache victim cached_since.(victim) ti
       end
     end
   done;
   let horizon = Sequence.horizon seq in
-  List.iter (fun k -> add_cache k cached_since.(k) horizon) !members;
+  for k = 0 to m - 1 do
+    if in_cache.(k) then add_cache k cached_since.(k) horizon
+  done;
   outcome model
     (Printf.sprintf "classic-lru(k=%d)" capacity)
     (Schedule.make ~caches:!caches ~transfers:!transfers)

@@ -81,6 +81,19 @@ let prev_same_server t i = t.prev.(i)
 let sigma t i = t.sigma.(i)
 let requests_on t s = t.on_server.(s)
 
+(* canonical binary encoding for digest keying: [m], [n], then each
+   real request as (server, time-bits).  Every other field of [t] is
+   derived from these, so two instances agree on this encoding iff
+   they are the same problem. *)
+let add_fingerprint buf t =
+  Buffer.add_int64_le buf (Int64.of_int t.m);
+  let count = n t in
+  Buffer.add_int64_le buf (Int64.of_int count);
+  for i = 1 to count do
+    Buffer.add_int32_le buf (Int32.of_int t.server.(i));
+    Buffer.add_int64_le buf (Int64.bits_of_float t.time.(i))
+  done
+
 let sub t k =
   if k < 0 || k > n t then invalid_arg "Sequence.sub: index out of range";
   build ~m:t.m (Array.init k (fun i -> unsafe_request t (i + 1)))

@@ -59,6 +59,12 @@ val requests_on : t -> int -> int list
 (** [requests_on t s]: indices (ascending, possibly including [0] for
     server [0]) of requests made on server [s]. *)
 
+val add_fingerprint : Buffer.t -> t -> unit
+(** Appends a canonical binary encoding of the instance — [m], [n],
+    then each request's server index and the IEEE bits of its time —
+    to [buf].  Two instances produce the same bytes iff they are the
+    same problem, which is what {!Solve_cache} digests for keying. *)
+
 val sub : t -> int -> t
 (** [sub t k] is the instance restricted to the first [k] requests
     ([1 <= k <= n] — with [k = 0] the empty instance).

@@ -1,18 +1,44 @@
-(* Flat-arena layout: every per-request column is a plain array grown
-   geometrically (doubling), and the pre-scan matrix A — row i =
-   last_on after r_i — lives in one row-major [int array] arena of
-   [cap * m] slots.  A push appends by [Array.blit]-ing the previous
-   arena row and patching one column, so the hot path performs no
-   per-request boxed allocation at all: the old representation copied
-   an m-length boxed row per request ([Vec.push (Array.copy last_on)])
-   and burned two [ref] cells per push on the D(i) scan; both are gone
-   (the scan's running best lives in two 1-slot scratch arrays that
-   never leave the solver).  Growth allocates doubling blocks, which
-   for any interesting capacity land directly in the major heap, so
-   [Gc.minor_words] per push is ~0 — the bench harness asserts this
-   (see bench/bench_cases.ml and docs/PERFORMANCE.md). *)
+(* Packed-arena layout: the per-request *index* columns live in int32
+   bigarrays instead of ~13 parallel [int array]s — a stride-4 packed
+   row [server; prev; c_choice; d_choice] per request in [idx], the
+   successor column in [nxt], and the pre-scan matrix A in a row-major
+   [cap * m] arena — while the float columns stay flat [float array]s
+   (already unboxed).  Request indices always fit int32 (grow refuses
+   past 2^30 rows), so the index state for a request is 16 bytes and a
+   whole arena row is m*4 bytes: the pivot scan walks a quarter of the
+   cache lines the old int-array layout touched.
+
+   [nxt] is offset by one with a permanent [-1] sentinel in slot 0
+   ([nxt.{i+1}] = successor of r_i), so the pivot scan needs no
+   emptiness branch; and because [nxt.{q+1} <- i] is written only
+   *after* the scan, every successor the scan reads is a strict
+   predecessor of [i] — the scan body is a single [kappa >= 0] test.
+
+   A push appends by copying the previous arena row with a manual
+   int32 loop ([Array1.sub]/[blit] would allocate proxy blocks) and
+   patching one column.  On this (non-flambda) toolchain the
+   [Int32.to_int (Array1.unsafe_get ...)] / [unsafe_set ... (Int32.of_int ...)]
+   pairs compile to unboxed loads/stores (Cmm box/unbox fusion), so
+   the hot path still performs no per-request boxed allocation; the
+   bench harness asserts the ~2 [Gc.minor_words]/push contract (see
+   bench/bench_cases.ml and docs/PERFORMANCE.md).
+
+   [schedule] accumulates the walk into preallocated flat buffers
+   (grown geometrically, no per-piece list churn until the final
+   [Schedule.make]) and memoises the result keyed on [len]: the solver
+   state is append-only, so the prefix length fully determines the
+   schedule and repeated calls between pushes return the same
+   physically-equal value without re-walking. *)
 
 module Obs = Dcache_obs.Obs
+module A1 = Bigarray.Array1
+
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) A1.t
+
+let i32_make len fill : i32 =
+  let a = A1.create Bigarray.int32 Bigarray.c_layout len in
+  A1.fill a (Int32.of_int fill);
+  a
 
 (* Probe ids are registered once at module init; on the hot path the
    whole probe block sits behind a single [Obs.probe ()] load+branch,
@@ -21,6 +47,7 @@ module Obs = Dcache_obs.Obs
 let c_push = Obs.counter "streaming_dp.push"
 let c_grow = Obs.counter "streaming_dp.grow"
 let c_pivot_slots = Obs.counter "streaming_dp.pivot_slots"
+let c_sched_memo = Obs.counter "streaming_dp.schedule_memo"
 let g_arena_cap = Obs.gauge "streaming_dp.arena_cap"
 let sp_grow = Obs.span_name "streaming_dp.grow"
 let sp_schedule = Obs.span_name "streaming_dp.schedule"
@@ -30,18 +57,29 @@ type c_choice = C_base | C_step | C_cache
 
 type d_choice = D_undefined | D_prev | D_pivot of int
 
-(* d_choice is stored as an int column: [d_undefined] / [d_prev] /
+(* d_choice is stored as an int32 slot: [d_undefined] / [d_prev] /
    a pivot index kappa >= 1 (kappa is a strict successor, never 0). *)
 let d_undefined = -2
 
 let d_prev = -1
 
-(* c_choice as an int column *)
+(* c_choice as an int32 slot *)
 let c_base = 0
 
 let c_step = 1
 
 let c_cache = 2
+
+(* packed idx row: stride-4 int32 slots per request *)
+let stride = 4
+
+let k_server = 0
+
+let k_prev = 1
+
+let k_cc = 2
+
+let k_dc = 3
 
 type t = {
   model : Cost_model.t;
@@ -49,22 +87,34 @@ type t = {
   lam_eff : float;
   mutable cap : int; (* rows allocated *)
   mutable len : int; (* rows used, = n + 1 with the boundary r_0 *)
-  (* per-request columns, index 0 = the boundary request r_0 *)
-  mutable server : int array;
+  (* packed per-request index rows: idx.{i*4 ..} = [server; prev; c_choice; d_choice] *)
+  mutable idx : i32;
+  (* successor on the same server, offset by one: nxt.{i+1} = successor
+     of r_i (-1 = none yet); nxt.{0} is a permanent -1 sentinel so an
+     empty arena slot (-1) indexes it branch-free *)
+  mutable nxt : i32;
+  mutable arena : i32; (* row-major A: arena.{i*m + j} = last request on s^j after r_i *)
+  (* per-request float columns, index 0 = the boundary request r_0 *)
   mutable time : float array;
-  mutable prev : int array; (* p(i); -1 for the dummy at -inf *)
   mutable sigma : float array;
   mutable b : float array;
   mutable big_b : float array;
   mutable c : float array;
   mutable d : float array;
-  mutable c_choice : int array;
-  mutable d_choice : int array;
-  mutable next_same : int array; (* successor on the same server; -1 = none yet *)
-  mutable arena : int array; (* row-major A: arena.(i*m + j) = last request on s^j after r_i *)
   last_on : int array; (* latest request per server *)
-  d_best : float array; (* 1-slot scratch: running best of the D(i) scan *)
-  d_arg : int array; (* 1-slot scratch: its argmin encoding *)
+  (* reconstruction memo: state is append-only, so [len] is a complete
+     key for the schedule of the current prefix *)
+  mutable sched_len : int;
+  mutable sched : Schedule.t;
+  (* preallocated walk buffers (caches: server/from/to; transfers:
+     src/dst/time with src = -1 encoding From_external) *)
+  mutable pb_cap : int;
+  mutable pb_server : int array;
+  mutable pb_from : float array;
+  mutable pb_to : float array;
+  mutable tb_src : int array;
+  mutable tb_dst : int array;
+  mutable tb_time : float array;
 }
 
 let initial_cap = 64
@@ -79,34 +129,45 @@ let create model ~m =
       lam_eff = Float.min model.Cost_model.lambda model.Cost_model.upload;
       cap;
       len = 0;
-      server = Array.make cap 0;
+      idx = i32_make (cap * stride) 0;
+      nxt = i32_make (cap + 1) (-1);
+      arena = i32_make (cap * m) (-1);
       time = Array.make cap 0.0;
-      prev = Array.make cap (-1);
       sigma = Array.make cap 0.0;
       b = Array.make cap 0.0;
       big_b = Array.make cap 0.0;
       c = Array.make cap 0.0;
       d = Array.make cap infinity;
-      c_choice = Array.make cap c_base;
-      d_choice = Array.make cap d_undefined;
-      next_same = Array.make cap (-1);
-      arena = Array.make (cap * m) (-1);
       last_on = Array.make m (-1);
-      d_best = Array.make 1 infinity;
-      d_arg = Array.make 1 d_undefined;
+      sched_len = 1;
+      sched = Schedule.make ~caches:[] ~transfers:[];
+      pb_cap = 0;
+      pb_server = [||];
+      pb_from = [||];
+      pb_to = [||];
+      tb_src = [||];
+      tb_dst = [||];
+      tb_time = [||];
     }
   in
-  (* boundary request r_0 = (s^1, 0); Array.make already filled the
-     defaults, only the non-default cells need writing *)
-  t.d.(0) <- infinity;
+  (* boundary request r_0 = (s^1, 0); the fills already wrote the
+     defaults (idx row 0: server 0, c_base), only the non-zero
+     encodings need writing *)
+  A1.set t.idx k_prev (-1l);
+  A1.set t.idx k_dc (Int32.of_int d_undefined);
   t.last_on.(0) <- 0;
-  t.arena.(0) <- 0 (* row 0: column 0 = r_0, the rest stay -1 *);
+  A1.set t.arena 0 0l (* row 0: column 0 = r_0, the rest stay -1 *);
   t.len <- 1;
   t
 
 let n t = t.len - 1
 let m t = t.m
 let model t = t.model
+
+(* decoded read of one packed idx slot; not used on the push hot path
+   (there the unboxing pattern is written inline — without flambda a
+   helper call is not guaranteed to fuse the int32 box away) *)
+let ix t i k = Int32.to_int (A1.unsafe_get t.idx ((i * stride) + k))
 
 let check t i name =
   if i < 0 || i >= t.len then invalid_arg ("Streaming_dp." ^ name ^ ": index out of bounds")
@@ -131,7 +192,7 @@ let running_at t i =
 
 let server_at t i =
   check t i "server_at";
-  t.server.(i)
+  ix t i k_server
 
 let time_at t i =
   check t i "time_at";
@@ -139,39 +200,45 @@ let time_at t i =
 
 let pivot_at t i =
   check t i "pivot_at";
-  let v = t.d_choice.(i) in
+  let v = ix t i k_dc in
   if v >= 0 then Some v else None
 
 (* Doubles every column and the arena.  Not on the hot path proper:
    amortised over pushes, and the blocks it allocates are major-heap
-   sized long before n is interesting. *)
+   sized long before n is interesting.  The int32 copies are manual
+   loops so no proxy blocks are created. *)
 let grow t =
   Obs.spanned sp_grow @@ fun () ->
   let ncap = 2 * t.cap in
-  let grow_int a fill =
-    let b = Array.make ncap fill in
-    Array.blit a 0 b 0 t.len;
-    b
-  in
+  (* every index column stores request indices as int32; 2^30 rows is
+     the guard line (far below Int32.max_int, far above any workload) *)
+  if ncap > 0x4000_0000 then invalid_arg "Streaming_dp: capacity exceeds int32 index range";
+  let idx = i32_make (ncap * stride) 0 in
+  for k = 0 to (t.len * stride) - 1 do
+    A1.unsafe_set idx k (A1.unsafe_get t.idx k)
+  done;
+  let nxt = i32_make (ncap + 1) (-1) in
+  for k = 0 to t.len do
+    A1.unsafe_set nxt k (A1.unsafe_get t.nxt k)
+  done;
+  let arena = i32_make (ncap * t.m) (-1) in
+  for k = 0 to (t.len * t.m) - 1 do
+    A1.unsafe_set arena k (A1.unsafe_get t.arena k)
+  done;
+  t.idx <- idx;
+  t.nxt <- nxt;
+  t.arena <- arena;
   let grow_float a fill =
     let b = Array.make ncap fill in
     Array.blit a 0 b 0 t.len;
     b
   in
-  t.server <- grow_int t.server 0;
   t.time <- grow_float t.time 0.0;
-  t.prev <- grow_int t.prev (-1);
   t.sigma <- grow_float t.sigma 0.0;
   t.b <- grow_float t.b 0.0;
   t.big_b <- grow_float t.big_b 0.0;
   t.c <- grow_float t.c 0.0;
   t.d <- grow_float t.d infinity;
-  t.c_choice <- grow_int t.c_choice c_base;
-  t.d_choice <- grow_int t.d_choice d_undefined;
-  t.next_same <- grow_int t.next_same (-1);
-  let arena = Array.make (ncap * t.m) (-1) in
-  Array.blit t.arena 0 arena 0 (t.len * t.m);
-  t.arena <- arena;
   t.cap <- ncap;
   Obs.incr c_grow;
   Obs.set_gauge g_arena_cap (float_of_int (ncap * t.m))
@@ -191,132 +258,185 @@ let push t ~server ~time =
   let q = t.last_on.(server) in
   let sigma = if q >= 0 then time -. t.time.(q) else infinity in
   let bi = Float.min t.lam_eff (mu *. sigma) in
-  t.server.(i) <- server;
+  let base_i = i * stride in
+  A1.unsafe_set t.idx (base_i + k_server) (Int32.of_int server);
+  A1.unsafe_set t.idx (base_i + k_prev) (Int32.of_int q);
+  A1.unsafe_set t.idx (base_i + k_dc) (Int32.of_int d_undefined);
+  A1.unsafe_set t.nxt (i + 1) (-1l);
   t.time.(i) <- time;
-  t.prev.(i) <- q;
   t.sigma.(i) <- sigma;
   t.b.(i) <- bi;
   t.big_b.(i) <- t.big_b.(i - 1) +. bi;
-  t.next_same.(i) <- -1;
-  if q >= 0 then t.next_same.(q) <- i;
-  (* --- D(i): pivot scan over the flat arena row of r_q --- *)
-  t.d_best.(0) <- infinity;
-  t.d_arg.(0) <- d_undefined;
+  t.d.(i) <- infinity;
+  (* --- D(i): branch-predictable pivot scan over the packed arena row
+     of r_q.  The loop body is one test: an empty column reads the
+     nxt.{0} sentinel, the server's own column reads nxt.{q+1} (still
+     -1 — it is written only after the scan), and every stored
+     successor is < i by construction, so the old [j <> server],
+     [last >= 0], [kappa < i] and [d < infinity] guards are gone (an
+     infinite D(kappa) yields an infinite candidate, which never beats
+     the finite D_prev seed). *)
   if q >= 0 then begin
     let base = (mu *. sigma) +. t.big_b.(i - 1) in
-    t.d_best.(0) <- t.c.(q) +. base -. t.big_b.(q);
-    t.d_arg.(0) <- d_prev;
+    t.d.(i) <- t.c.(q) +. base -. t.big_b.(q);
+    A1.unsafe_set t.idx (base_i + k_dc) (Int32.of_int d_prev);
     let row = q * t.m in
     for j = 0 to t.m - 1 do
-      if j <> server then begin
-        let last = t.arena.(row + j) in
-        if last >= 0 then begin
-          let kappa = t.next_same.(last) in
-          if kappa >= 0 && kappa < i && t.d.(kappa) < infinity then begin
-            let cand = t.d.(kappa) +. base -. t.big_b.(kappa) in
-            if cand < t.d_best.(0) then begin
-              t.d_best.(0) <- cand;
-              t.d_arg.(0) <- kappa
-            end
-          end
+      let last = Int32.to_int (A1.unsafe_get t.arena (row + j)) in
+      let kappa = Int32.to_int (A1.unsafe_get t.nxt (last + 1)) in
+      if kappa >= 0 then begin
+        (* dcache-lint: allow R3 — kappa < i <= len: nxt only ever stores already-pushed indices *)
+        let cand = Array.unsafe_get t.d kappa +. base -. Array.unsafe_get t.big_b kappa in
+        (* dcache-lint: allow R3 — i < cap: grow ran above when len hit cap *)
+        if cand < Array.unsafe_get t.d i then begin
+          Array.unsafe_set t.d i cand;
+          A1.unsafe_set t.idx (base_i + k_dc) (Int32.of_int kappa)
         end
       end
-    done
+    done;
+    A1.unsafe_set t.nxt (q + 1) (Int32.of_int i)
   end;
-  let d_value = t.d_best.(0) in
-  t.d.(i) <- d_value;
-  t.d_choice.(i) <- t.d_arg.(0);
+  let d_value = t.d.(i) in
   (* --- C(i) --- *)
   let step = t.c.(i - 1) +. (mu *. (time -. t.time.(i - 1))) +. t.lam_eff in
   if d_value <= step then begin
     t.c.(i) <- d_value;
-    t.c_choice.(i) <- c_cache
+    A1.unsafe_set t.idx (base_i + k_cc) (Int32.of_int c_cache)
   end
   else begin
     t.c.(i) <- step;
-    t.c_choice.(i) <- c_step
+    A1.unsafe_set t.idx (base_i + k_cc) (Int32.of_int c_step)
   end;
   t.last_on.(server) <- i;
-  (* arena row i = arena row i-1 with this server's column patched *)
-  Array.blit t.arena ((i - 1) * t.m) t.arena (i * t.m) t.m;
-  t.arena.((i * t.m) + server) <- i;
+  (* arena row i = arena row i-1 with this server's column patched;
+     manual int32 loop — [Array1.sub]/[blit] would allocate proxies *)
+  let src = (i - 1) * t.m and dst = i * t.m in
+  for j = 0 to t.m - 1 do
+    A1.unsafe_set t.arena (dst + j) (A1.unsafe_get t.arena (src + j))
+  done;
+  A1.unsafe_set t.arena (dst + server) (Int32.of_int i);
   t.len <- i + 1;
   (* one probe check per push; the counter math inside is a constant
-     (the pivot scan visits exactly m-1 columns whenever q >= 0) *)
+     (the branch-free pivot scan visits all m columns whenever q >= 0) *)
   if Obs.probe () then begin
     Obs.incr c_push;
-    Obs.add c_pivot_slots (if q >= 0 then t.m - 1 else 0);
+    Obs.add c_pivot_slots (if q >= 0 then t.m else 0);
     if t0 <> min_int then Obs.observe_span_ns sp_push (Obs.now_ns () - t0)
   end
 [@@hot]
 
-(* decoded views of the choice columns, for the reconstruction walk *)
+(* decoded views of the choice slots, for the reconstruction walk *)
 let c_choice_at t i =
-  let v = t.c_choice.(i) in
+  let v = ix t i k_cc in
   if v = c_base then C_base else if v = c_step then C_step else C_cache
 
 let d_choice_at t i =
-  let v = t.d_choice.(i) in
+  let v = ix t i k_dc in
   if v = d_undefined then D_undefined else if v = d_prev then D_prev else D_pivot v
 
 (* -- schedule reconstruction (identical walk to the batch solver) ------- *)
 
 type walk = Walk_c of int | Walk_d of int
 
+(* the walk emits at most one cache piece and one transfer piece per
+   request index, so [len] slots per buffer always suffice *)
+let ensure_path_cap t =
+  if t.pb_cap < t.len then begin
+    let ncap = max t.len (max initial_cap (2 * t.pb_cap)) in
+    t.pb_server <- Array.make ncap 0;
+    t.pb_from <- Array.make ncap 0.0;
+    t.pb_to <- Array.make ncap 0.0;
+    t.tb_src <- Array.make ncap 0;
+    t.tb_dst <- Array.make ncap 0;
+    t.tb_time <- Array.make ncap 0.0;
+    t.pb_cap <- ncap
+  end
+
 let schedule t =
-  Obs.spanned sp_schedule @@ fun () ->
-  let mu = t.model.Cost_model.mu in
-  let caches = ref [] and transfers = ref [] in
-  let add_cache server from_time to_time =
-    if to_time > from_time then caches := { Schedule.server; from_time; to_time } :: !caches
-  in
-  let src_of src_server =
-    if t.model.Cost_model.upload < t.model.Cost_model.lambda then Schedule.From_external
-    else Schedule.From_server src_server
-  in
-  let add_transfer src_server dst time =
-    transfers := { Schedule.src = src_of src_server; dst; time } :: !transfers
-  in
-  let serve_marginal source lo hi =
-    for h = lo to hi do
-      let sh = t.server.(h) in
-      if t.lam_eff <= mu *. t.sigma.(h) then add_transfer source sh t.time.(h)
-      else add_cache sh t.time.(t.prev.(h)) t.time.(h)
-    done
-  in
-  let state = ref (Walk_c (n t)) in
-  let continue = ref true in
-  while !continue do
-    match !state with
-    | Walk_c 0 -> continue := false
-    | Walk_c i -> (
-        match c_choice_at t i with
-        | C_cache -> state := Walk_d i
-        (* same-server step: the cache branch mathematically ties or
-           wins; avoid a degenerate self-transfer *)
-        | C_step when t.server.(i - 1) = t.server.(i) -> state := Walk_d i
-        | C_step ->
-            let prev = i - 1 in
-            add_cache t.server.(prev) t.time.(prev) t.time.(i);
-            add_transfer t.server.(prev) t.server.(i) t.time.(i);
-            state := Walk_c prev
-        | C_base -> assert false)
-    | Walk_d i -> (
-        let q = t.prev.(i) in
-        assert (q >= 0);
-        add_cache t.server.(i) t.time.(q) t.time.(i);
-        match d_choice_at t i with
-        | D_prev ->
-            serve_marginal t.server.(i) (q + 1) (i - 1);
-            state := Walk_c q
-        | D_pivot kappa ->
-            serve_marginal t.server.(i) (kappa + 1) (i - 1);
-            state := Walk_d kappa
-        | D_undefined -> assert false)
-  done;
-  Schedule.make ~caches:!caches ~transfers:!transfers
+  if t.sched_len = t.len then begin
+    Obs.incr c_sched_memo;
+    t.sched
+  end
+  else
+    Obs.spanned sp_schedule @@ fun () ->
+    let mu = t.model.Cost_model.mu in
+    ensure_path_cap t;
+    let nc = ref 0 and nt = ref 0 in
+    let add_cache server from_time to_time =
+      if to_time > from_time then begin
+        let k = !nc in
+        t.pb_server.(k) <- server;
+        t.pb_from.(k) <- from_time;
+        t.pb_to.(k) <- to_time;
+        nc := k + 1
+      end
+    in
+    (* upload-vs-lambda is a property of the model, not of the walk
+       step: decide the transfer source once, outside the loop *)
+    let external_src = t.model.Cost_model.upload < t.model.Cost_model.lambda in
+    let add_transfer src_server dst time =
+      let k = !nt in
+      t.tb_src.(k) <- (if external_src then -1 else src_server);
+      t.tb_dst.(k) <- dst;
+      t.tb_time.(k) <- time;
+      nt := k + 1
+    in
+    let serve_marginal source lo hi =
+      for h = lo to hi do
+        let sh = ix t h k_server in
+        if t.lam_eff <= mu *. t.sigma.(h) then add_transfer source sh t.time.(h)
+        else add_cache sh t.time.(ix t h k_prev) t.time.(h)
+      done
+    in
+    let state = ref (Walk_c (n t)) in
+    let continue = ref true in
+    while !continue do
+      match !state with
+      | Walk_c 0 -> continue := false
+      | Walk_c i -> (
+          match c_choice_at t i with
+          | C_cache -> state := Walk_d i
+          (* same-server step: the cache branch mathematically ties or
+             wins; avoid a degenerate self-transfer *)
+          | C_step when ix t (i - 1) k_server = ix t i k_server -> state := Walk_d i
+          | C_step ->
+              let prev = i - 1 in
+              add_cache (ix t prev k_server) t.time.(prev) t.time.(i);
+              add_transfer (ix t prev k_server) (ix t i k_server) t.time.(i);
+              state := Walk_c prev
+          | C_base -> assert false)
+      | Walk_d i -> (
+          let q = ix t i k_prev in
+          assert (q >= 0);
+          add_cache (ix t i k_server) t.time.(q) t.time.(i);
+          match d_choice_at t i with
+          | D_prev ->
+              serve_marginal (ix t i k_server) (q + 1) (i - 1);
+              state := Walk_c q
+          | D_pivot kappa ->
+              serve_marginal (ix t i k_server) (kappa + 1) (i - 1);
+              state := Walk_d kappa
+          | D_undefined -> assert false)
+    done;
+    let caches = ref [] in
+    for k = !nc - 1 downto 0 do
+      caches :=
+        { Schedule.server = t.pb_server.(k); from_time = t.pb_from.(k); to_time = t.pb_to.(k) }
+        :: !caches
+    done;
+    let transfers = ref [] in
+    for k = !nt - 1 downto 0 do
+      let src =
+        if t.tb_src.(k) < 0 then Schedule.From_external else Schedule.From_server t.tb_src.(k)
+      in
+      transfers := { Schedule.src; dst = t.tb_dst.(k); time = t.tb_time.(k) } :: !transfers
+    done;
+    let s = Schedule.make ~caches:!caches ~transfers:!transfers in
+    t.sched <- s;
+    t.sched_len <- t.len;
+    s
 
 let to_sequence t =
   let count = n t in
   Sequence.create_exn ~m:t.m
-    (Array.init count (fun i -> { Request.server = t.server.(i + 1); time = t.time.(i + 1) }))
+    (Array.init count (fun i -> { Request.server = ix t (i + 1) k_server; time = t.time.(i + 1) }))

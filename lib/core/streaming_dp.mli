@@ -62,8 +62,11 @@ val time_at : t -> int -> float
 
 val schedule : t -> Schedule.t
 (** Optimal schedule for the current prefix, by backtracking.  [O(n)]
-    per call; the walk never mutates solver state, so it can be called
-    between pushes. *)
+    on the first call after a push, and O(1) afterwards: the state is
+    append-only, so the result is memoised per prefix length and
+    repeated calls return the same (physically equal) schedule.  The
+    walk never changes the solver's answers, so it can be interleaved
+    with pushes. *)
 
 val to_sequence : t -> Sequence.t
 (** The pushed requests as a validated {!Sequence}.

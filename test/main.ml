@@ -14,6 +14,7 @@ let () =
       ("multi-item", Test_multi.suite);
       ("predictive", Test_predictive.suite);
       ("streaming", Test_streaming.suite);
+      ("solve-cache", Test_solve_cache.suite);
       ("viz", Test_viz.suite);
       ("obs", Test_obs.suite);
       ("invariants", Test_invariants.suite);

@@ -1,0 +1,30 @@
+(* packed-row discipline: scalar-kind Bigarray get/set in hot bodies
+   are unboxed loads/stores and must stay S1-clean; a proxy built in
+   the hot body ([Array1.sub]) and a creator hidden behind a callee
+   called from a hot loop ([Array1.create]) must both fire. *)
+type ba = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let sum_packed (a : ba) n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + Int32.to_int (Bigarray.Array1.unsafe_get a i)
+  done;
+  !acc
+[@@hot]
+
+let tail_view (a : ba) n =
+  let v = Bigarray.Array1.sub a 1 (n - 1) in
+  Int32.to_int (Bigarray.Array1.get v 0)
+[@@hot]
+
+let fresh_row n : ba = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n
+
+let churn (a : ba) n =
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let r = fresh_row 4 in
+    Bigarray.Array1.set r 0 (Bigarray.Array1.get a i);
+    total := !total + Int32.to_int (Bigarray.Array1.get r 0)
+  done;
+  !total
+[@@hot]

@@ -39,7 +39,7 @@ let core_fixtures =
     "s1v2_hidden.ml"; "s1v2_record.ml"; "s1v2_scc.ml"; "s1v2_clean.ml"; "s7_ref.ml";
     "s7_named.ml"; "s7_clean.ml"; "stale_suppress.ml"; "s2v2_chain.ml"; "s2v2_chain.mli";
     "s2v2_clean.ml"; "s2v2_clean.mli"; "s1v3_record.ml"; "s1v3_escape.ml"; "s8_lock.ml";
-    "s8_protect.ml"; "s8_socket.ml"; "multi_suppress.ml";
+    "s8_protect.ml"; "s8_socket.ml"; "multi_suppress.ml"; "s1_bigarray.ml";
   ]
 
 let workload_fixtures = [ "s6_deep.mli"; "s6_deep.ml"; "s6_violation.ml"; "s6_clean.ml" ]
@@ -159,6 +159,19 @@ let test_s1v2_fires () =
      chain even though the hot loop never calls it directly *)
   check_message "S1v2 SCC witness" "S1" "lib/core/s1v2_scc.ml"
     "S1v2_scc.collect -> S1v2_scc.descend" findings
+
+(* Bigarray in hot bodies: scalar-kind get/set are unboxed loads and
+   must stay silent ([sum_packed] is clean); a proxy builder in the
+   body ([Array1.sub]) and a creator reached through a callee
+   ([Array1.create] via [fresh_row]) both fire *)
+let test_s1_bigarray () =
+  let findings, _, _, _ = run () in
+  let hits = find "S1" "lib/core/s1_bigarray.ml" findings in
+  Alcotest.(check (list int)) "proxy in body and creator via callee fire; get/set stay clean"
+    [ 16; 25 ]
+    (List.map (fun f -> f.F.line) hits |> List.sort compare);
+  check_message "S1 names the proxy builtin" "S1" "lib/core/s1_bigarray.ml" "Bigarray.Array1.sub"
+    (List.filter (fun f -> f.F.line = 16) findings)
 
 let test_s6_fires () =
   let findings, _, _, _ = run () in
@@ -299,7 +312,7 @@ let test_stats_populated () =
 (* version pins: forgetting to bump either stamp when rule semantics
    change is the cache-staleness failure mode — fail loudly here *)
 let test_version_pins () =
-  Alcotest.(check string) "analyzer version" "7" Sema_rules.analyzer_version;
+  Alcotest.(check string) "analyzer version" "8" Sema_rules.analyzer_version;
   Alcotest.(check int) "cache format version" 5 Sema_cache.version
 
 (* witness chains surface in SARIF as codeFlows/relatedLocations and
@@ -421,6 +434,7 @@ let suite =
     Alcotest.test_case "S3 liveness across libraries" `Quick test_s3_liveness;
     Alcotest.test_case "clean and suppressed fixtures" `Quick test_clean_and_suppressed;
     Alcotest.test_case "S1v2 sees through callees and SCCs" `Quick test_s1v2_fires;
+    Alcotest.test_case "S1 hot Bigarray: proxies fire, get/set clean" `Quick test_s1_bigarray;
     Alcotest.test_case "S6 generator purity is transitive" `Quick test_s6_fires;
     Alcotest.test_case "S7 flags racy Pool tasks" `Quick test_s7_fires;
     Alcotest.test_case "interprocedural demo chains" `Quick test_interproc_demo;

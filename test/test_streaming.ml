@@ -131,6 +131,56 @@ let streaming_accessors () =
   Alcotest.(check int) "server_at" 2 (Streaming_dp.server_at stream 7);
   check_float "time_at" 4.0 (Streaming_dp.time_at stream 7)
 
+let schedule_memo () =
+  let seq = fig6 () in
+  let model = Cost_model.unit in
+  let stream = Streaming_dp.create model ~m:(Sequence.m seq) in
+  feed stream seq (Sequence.n seq - 1) ;
+  let a = Streaming_dp.schedule stream in
+  Alcotest.(check bool) "repeat request is physically equal" true
+    (Streaming_dp.schedule stream == a);
+  (* a push invalidates the memo: the new schedule is rebuilt, and it
+     must cover the longer prefix *)
+  let i = Sequence.n seq in
+  Streaming_dp.push stream ~server:(Sequence.server seq i) ~time:(Sequence.time seq i);
+  let b = Streaming_dp.schedule stream in
+  Alcotest.(check bool) "push invalidates the memo" true (not (b == a));
+  (match Schedule.validate seq b with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "post-push schedule invalid: %s" (String.concat "; " e));
+  check_float "post-push schedule is optimal" (Streaming_dp.cost stream) (Schedule.cost model b);
+  Alcotest.(check bool) "memo re-primed" true (Streaming_dp.schedule stream == b)
+
+(* warm reconstruction must be allocation-free: after the first
+   [schedule] call the memo answers from the packed arenas without
+   touching the minor heap (the perf gate enforces the same budget on
+   the n = 1000 instance; this is the in-suite regression) *)
+let schedule_memo_alloc_free () =
+  let rng = Dcache_prelude.Rng.create 97 in
+  let clock = ref 0.0 in
+  let requests =
+    Array.init 500 (fun _ ->
+        clock := !clock +. Dcache_prelude.Rng.float_in rng 0.05 0.7;
+        Request.make ~server:(Dcache_prelude.Rng.int rng 8) ~time:!clock)
+  in
+  let seq = Sequence.create_exn ~m:8 requests in
+  let stream = Streaming_dp.create (Cost_model.make ~mu:1.0 ~lambda:2.0 ()) ~m:8 in
+  feed stream seq 500;
+  ignore (Streaming_dp.schedule stream);
+  (* calibrate away the cost of the Gc.minor_words probe itself (it
+     boxes its float result) *)
+  let calib = Gc.minor_words () in
+  let calib = Gc.minor_words () -. calib in
+  let before = Gc.minor_words () in
+  let runs = 64 in
+  for _ = 1 to runs do
+    ignore (Sys.opaque_identity (Streaming_dp.schedule stream))
+  done;
+  let words = ((Gc.minor_words () -. before) -. calib) /. float_of_int runs in
+  if words >= 1000.0 then
+    Alcotest.failf "warm schedule reconstruction allocates %.1f minor words/run (budget 1000)"
+      words
+
 let to_sequence_roundtrip =
   qcheck ~count:100 "streaming: to_sequence returns exactly what was pushed"
     (nonempty_problem_arbitrary ())
@@ -274,6 +324,8 @@ let suite =
     arena_matches_full_scan;
     schedule_between_pushes;
     case "streaming: accessors on fig6" streaming_accessors;
+    case "streaming: schedule memo and push invalidation" schedule_memo;
+    case "streaming: warm reconstruction is allocation-free" schedule_memo_alloc_free;
     to_sequence_roundtrip;
     case "streaming: push validation" push_validation;
     case "streaming: create validation" create_validation;

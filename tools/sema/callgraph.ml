@@ -222,6 +222,14 @@ let builtin_allocates = function
   | "Format", ("sprintf" | "asprintf") ->
       true
   | ("Hashtbl" | "HashtblLabels"), ("create" | "copy" | "of_seq") -> true
+  (* Bigarray creators and view builders allocate a custom block per
+     call.  Scalar-kind get/set/unsafe_get/unsafe_set are deliberately
+     absent: full applications compile to unboxed loads/stores, so hot
+     packed-row accessors (Streaming_dp) must not summarise as
+     allocating. *)
+  | ("Array1" | "Array2" | "Array3" | "Genarray"), ( "create" | "init" | "of_array" | "sub"
+    | "sub_left" | "sub_right" | "slice_left" | "slice_right" ) ->
+      true
   | "Buffer", ("create" | "contents" | "to_bytes" | "sub") -> true
   | "Queue", ("create" | "add" | "push" | "copy" | "of_seq") -> true
   | "Stack", ("create" | "push" | "copy" | "of_seq") -> true

@@ -18,7 +18,7 @@ module F = Report_finding
    every unit digest, so a rules update invalidates the incremental
    cache wholesale and stale cached analyses cannot mask new
    findings. *)
-let analyzer_version = "7"
+let analyzer_version = "8"
 
 let catalog =
   [
@@ -26,7 +26,8 @@ let catalog =
       "hot-path allocation: closures, tuples, lists, arrays or boxed floats in [@@hot] loops \
        (including, via call-graph summaries, allocations hidden in callees, and record or \
        constructor literals the escape analysis proves iteration-local); copying Array builtins \
-       anywhere in a [@@hot] body" );
+       or Bigarray proxy builders anywhere in a [@@hot] body (scalar-kind Bigarray get/set are \
+       allocation-free and stay legal)" );
     ( "S2",
       "exception escape: undocumented exceptions escaping public lib/core / lib/baselines \
        values, tracked interprocedurally through unguarded callee chains" );
@@ -160,6 +161,15 @@ let scan_hot_loop_body ~path ~fname add body =
    function is routine. *)
 let array_copy_builtins = [ "copy"; "append"; "sub"; "of_list"; "concat" ]
 
+(* Bigarray views: [sub]/[slice_*] build a fresh custom block (a
+   proxy) on every call, so hot bodies must index into the backing
+   array instead.  Scalar-kind [get]/[set]/[unsafe_get]/[unsafe_set]
+   are deliberately *not* flagged anywhere in S1 (here or in the
+   call-graph summaries): full applications compile to unboxed
+   loads/stores — the int32/float box fuses away in Cmm — which is
+   exactly the discipline Streaming_dp's packed rows rely on. *)
+let bigarray_proxy_builtins = [ "sub"; "sub_left"; "sub_right"; "slice_left"; "slice_right" ]
+
 let scan_hot_body ~path ~fname add body =
   let it =
     {
@@ -176,6 +186,15 @@ let scan_hot_body ~path ~fname add body =
                           "`Array.%s` in the body of hot `%s` allocates a fresh array per call: \
                            reuse a preallocated buffer (`Array.blit`) instead"
                           fn fname))
+              | Some ((("Array1" | "Array2" | "Array3" | "Genarray") as md), fn)
+                when List.mem fn bigarray_proxy_builtins ->
+                  add
+                    (F.make ~path ~loc:e.exp_loc ~rule:"S1"
+                       (Printf.sprintf
+                          "`Bigarray.%s.%s` in the body of hot `%s` allocates a fresh bigarray \
+                           proxy per call: index into the backing array directly (scalar-kind \
+                           get/set are allocation-free)"
+                          md fn fname))
               | _ -> ())
           | _ -> ());
           Tast_iterator.default_iterator.expr self e);
