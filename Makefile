@@ -6,7 +6,7 @@
 BUILD := _build/default
 SARIF := _build/sarif
 
-.PHONY: all build test lint sema sema-self sarif check bench bench-dp bench-json bench-baseline perf-gate bench-sema trace metrics-demo clean
+.PHONY: all build test lint sema sema-self sarif check bench bench-dp bench-json bench-baseline perf-gate bench-sema trace metrics-demo audit-demo clean
 
 all: build
 
@@ -39,7 +39,7 @@ sarif: build
 	  --source-root $(BUILD) --scope lib/ --stats \
 	  --sarif $(SARIF)/dcache_sema.sarif $(BUILD)
 
-check: build test sarif sema-self
+check: build test sarif sema-self audit-demo
 
 bench: build
 	dune exec bench/main.exe -- quick
@@ -88,6 +88,23 @@ metrics-demo: build
 	kill $$pid 2>/dev/null || true; \
 	$(BUILD)/bin/dcache.exe check-metrics _build/metrics-demo.prom; \
 	echo "metrics-demo: OK (exposition saved to _build/metrics-demo.prom)"
+
+# replay the bundled request traces through the streaming
+# competitive-ratio auditor: per-window ratios on stdout, a validated
+# Prometheus exposition with the audit.* families, and --strict so a
+# Theorem-3 bound violation fails the build (see docs/OBSERVABILITY.md)
+audit-demo: build
+	@set -e; \
+	for t in 15041:6 17018:4; do \
+	  trace=$${t%%:*}; m=$${t##*:}; \
+	  out=_build/audit-demo-$$trace.prom; \
+	  $(BUILD)/bin/dcache.exe audit --trace test/data/$$trace.events -m $$m \
+	    --strict --metrics-out $$out; \
+	  $(BUILD)/bin/dcache.exe check-metrics $$out; \
+	  grep -q '^dcache_audit_bound_violations_total 0$$' $$out \
+	    || { echo "audit-demo: violations counter not zero in $$out"; exit 1; }; \
+	done; \
+	echo "audit-demo: OK (both traces within the Theorem-3 bound)"
 
 # cold vs. incremental wall-time of the sema pass
 bench-sema:

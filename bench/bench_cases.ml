@@ -258,6 +258,65 @@ let measure_obs_cost () =
   in
   { probe_ns; probe_words; push_ns; overhead_frac }
 
+(* --------------------------------------------- audit observe budget *)
+
+(* The streaming auditor ([Dcache_obs.Audit]) sits on the per-request
+   serving path of `dcache audit` / `serve-metrics`, so its
+   steady-state [observe] carries the same kind of budget as a probe:
+   O(1) arithmetic, metric stores only behind [Obs.probe], and no
+   per-observation allocation beyond the boxed floats crossing the
+   call boundary (two float arguments plus the ratio local, ~2-3
+   words each without cross-module inlining).  The budget leaves room
+   for exactly that boxing; a per-observe window record, closure or
+   list cell blows through it.  Window closes are included (one per
+   [window_size] requests) — they are flat-field stores, amortised to
+   noise. *)
+let max_audit_words_per_observe = 16.0
+
+type audit_cost = {
+  observe_words : float;  (* minor words per Noop-sink observe *)
+  observe_ns : float;  (* wall ns per observe, min of 3 *)
+}
+
+let measure_audit_cost () =
+  Obs.set_sink Obs.Noop;
+  let clock = Dcache_obs.Clock.monotonic () in
+  let iters = 200_000 in
+  (* monotone cumulative costs at ratio 2.0: inside the bound, so the
+     witness path (which may allocate, by design) never fires *)
+  let opts = Array.init iters (fun i -> 0.5 *. float_of_int (i + 1)) in
+  let observe_run () =
+    let a = Dcache_obs.Audit.create ~window_size:64 () in
+    for i = 0 to iters - 1 do
+      let opt = opts.(i) in
+      ignore (Dcache_obs.Audit.observe a ~online:(2.0 *. opt) ~opt)
+    done
+  in
+  observe_run ();
+  let calib =
+    let b0 = Gc.minor_words () in
+    let b1 = Gc.minor_words () in
+    b1 -. b0
+  in
+  let w0 = Gc.minor_words () in
+  observe_run ();
+  observe_run ();
+  observe_run ();
+  let w1 = Gc.minor_words () in
+  let observe_words = Float.max 0.0 ((w1 -. w0 -. calib) /. float_of_int (3 * iters)) in
+  let timed () =
+    let t0 = Dcache_obs.Clock.now clock in
+    observe_run ();
+    float_of_int (Dcache_obs.Clock.now clock - t0)
+  in
+  ignore (timed ());
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let v = timed () in
+    if v < !best then best := v
+  done;
+  { observe_words; observe_ns = !best /. float_of_int iters }
+
 (* ---------------------------------------- recording-mode span budget *)
 
 (* Recording is not free — each [Obs.spanned] pays two clock reads,

@@ -54,7 +54,18 @@ let () =
       rc.Bench_cases.span_ns Bench_cases.max_ns_per_span;
     exit 1
   end;
+  (* audit-probe budget: the streaming auditor's per-request observe
+     must stay within call-boundary float boxing under the Noop sink *)
+  let ac = Bench_cases.measure_audit_cost () in
+  Printf.printf "audit observe:   %8.1f ns, %.3f minor words (budget %.1f words)\n"
+    ac.Bench_cases.observe_ns ac.Bench_cases.observe_words
+    Bench_cases.max_audit_words_per_observe;
+  if ac.Bench_cases.observe_words > Bench_cases.max_audit_words_per_observe then begin
+    Printf.eprintf "obs-overhead: a Noop-sink Audit.observe allocates %.3f minor words (budget %.1f)\n"
+      ac.Bench_cases.observe_words Bench_cases.max_audit_words_per_observe;
+    exit 1
+  end;
   (* sanity: the counters the probes feed really are dead while
      disabled *)
   Obs.reset ();
-  print_endline "OK: Noop sink is free on the hot path, recording within budget"
+  print_endline "OK: Noop sink is free on the hot path, recording and audit within budget"

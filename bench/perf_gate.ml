@@ -159,6 +159,17 @@ let () =
   if rc.Bench_cases.span_ns > Bench_cases.max_ns_per_span then
     fail_perf "a recorded span costs %.1f ns (budget %.0f)" rc.Bench_cases.span_ns
       Bench_cases.max_ns_per_span;
+  (* fourth budget: the streaming auditor rides the per-request
+     serving path, so its Noop-sink observe is held to the same
+     no-hidden-allocation standard *)
+  let ac = Bench_cases.measure_audit_cost () in
+  Printf.printf "audit observe: %12.1f ns (%.3f words, budget %.1f words)\n%!"
+    ac.Bench_cases.observe_ns ac.Bench_cases.observe_words
+    Bench_cases.max_audit_words_per_observe;
+  if ac.Bench_cases.observe_words > Bench_cases.max_audit_words_per_observe then
+    fail_perf "a Noop-sink Audit.observe allocates %.3f minor words (budget %.1f)"
+      ac.Bench_cases.observe_words Bench_cases.max_audit_words_per_observe;
   Printf.printf
-    "OK: streaming push within %.0f%% of baseline, Noop probes and recorded spans within budget\n"
+    "OK: streaming push within %.0f%% of baseline, Noop probes, recorded spans and audit observes \
+     within budget\n"
     ((regression_factor -. 1.0) *. 100.0)

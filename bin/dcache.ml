@@ -172,7 +172,7 @@ let solve_cmd =
   let run () trace m mu lambda render show_schedule =
     let model = or_die (model_of mu lambda) in
     let seq = or_die (load_trace trace m) in
-    let result = Offline_dp.solve model seq in
+    let result = Solve_cache.solve model seq in
     let schedule = Offline_dp.schedule result in
     Printf.printf "servers: %d, requests: %d, horizon: %g\n" (Sequence.m seq) (Sequence.n seq)
       (Sequence.horizon seq);
@@ -359,6 +359,99 @@ let stream_cmd =
     (Cmd.info "stream" ~doc:"Feed a trace through the incremental solver, printing prefix optima")
     Term.(const run $ obs_term $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ every)
 
+(* ----------------------------------------------------------------- audit *)
+
+(* Streaming online-vs-offline replay: every request goes through
+   Online_sc.Incremental, Streaming_dp.push and the Audit ratio /
+   regret / Theorem-3 monitor — no batch re-solving anywhere. *)
+
+let audit_cmd =
+  let window_size_arg =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "window-size" ] ~docv:"K" ~doc:"Requests per regret window.")
+  in
+  let bound_arg =
+    Arg.(
+      value
+      & opt float Online_sc.competitive_bound
+      & info [ "bound" ] ~docv:"B" ~doc:"Competitive bound to monitor (default: Theorem 3's 3.0).")
+  in
+  let inflate_arg =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "inflate" ] ~docv:"F"
+          ~doc:
+            "Fault injection: multiply the online cost as reported to the auditor (the policy \
+             itself is untouched). Values past the bound must provoke violations.")
+  in
+  let epoch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "epoch-size" ] ~docv:"K" ~doc:"Transfers per epoch (default: one unbounded epoch).")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the final Prometheus exposition (the audit.* families included) to $(docv).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit with status 2 when the bound monitor fired at least once.")
+  in
+  let run () trace m mu lambda window_size bound inflate epoch metrics_out strict =
+    let module Obs = Dcache_obs.Obs in
+    let model = or_die (model_of mu lambda) in
+    let seq = or_die (load_trace trace m) in
+    (* a recording sink so the audit.* families accumulate; --trace-json
+       or DCACHE_TRACE may already have installed one *)
+    (match Obs.sink () with
+    | Obs.Recording _ -> ()
+    | Obs.Noop -> Obs.set_sink (Obs.Recording (Obs.recorder ())));
+    Printf.printf "%8s %8s %12s %12s %8s %10s %8s\n" "window" "i" "online" "opt" "ratio" "regret"
+      "prefix";
+    let on_window (w : Dcache_sim.Auditor.Audit.window) =
+      Printf.printf "%8d %8d %12.4f %12.4f %8.4f %10.4f %8.4f\n" w.index w.last w.online w.opt
+        w.ratio w.regret w.prefix_ratio
+    in
+    let report =
+      Dcache_sim.Auditor.replay ~window_size ~bound ~inflate ?epoch_size:epoch ~on_window model seq
+    in
+    Printf.printf
+      "audited %d requests in %d windows: online %.6f, optimum %.6f, ratio %.4f (bound %.1f)\n"
+      report.requests report.windows report.online_cost report.opt_cost report.final_ratio bound;
+    if report.violations = 0 then Printf.printf "bound intact: 0 violations\n"
+    else begin
+      Printf.printf "BOUND VIOLATED %d times; witness prefixes (most recent %d):\n"
+        report.violations
+        (List.length report.witnesses);
+      List.iter
+        (fun (w : Dcache_sim.Auditor.Audit.witness) ->
+          Printf.printf "  prefix %d: online %.6f vs opt %.6f, ratio %.4f\n" w.at w.w_online
+            w.w_opt w.w_ratio)
+        report.witnesses
+    end;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Dcache_obs.Prometheus.exposition ()));
+        Printf.printf "wrote %s\n" path);
+    if strict && report.violations > 0 then exit 2
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Replay a trace through the streaming online-vs-offline competitive-ratio auditor")
+    Term.(
+      const run $ obs_term $ trace_arg $ m_arg $ mu_arg $ lambda_arg $ window_size_arg $ bound_arg
+      $ inflate_arg $ epoch_arg $ metrics_out_arg $ strict_arg)
+
 (* ---------------------------------------------------------- serve-metrics *)
 
 (* Long-run serving driver: batches of synthetic workload through the
@@ -448,19 +541,22 @@ let serve_metrics_cmd =
             placement = Dcache_workload.Placement.Uniform_random;
           }
       in
-      let stream = Streaming_dp.create model ~m in
+      (* per-request streaming audit: each request feeds the online SC
+         state machine and the prefix-optimal DP in lockstep, so the
+         audit.* families (prefix/window ratios, regret quantiles, the
+         Theorem-3 bound monitor) update live — no per-batch re-solve *)
+      let auditor = Dcache_sim.Auditor.create model ~m in
       for j = 1 to Sequence.n seq do
-        Streaming_dp.push stream ~server:(Sequence.server seq j) ~time:(Sequence.time seq j)
+        Dcache_sim.Auditor.feed auditor ~server:(Sequence.server seq j)
+          ~time:(Sequence.time seq j)
       done;
-      ignore (Streaming_dp.cost stream);
-      (* the offline optimum has two independent consumers per batch —
-         the cost gauge and the SC-vs-OPT ratio — routed through the
-         digest-keyed memo, so each batch is one miss plus one hit and
-         the solve_cache.* counters below are live on /metrics *)
-      Obs.set_gauge g_opt (Offline_dp.cost (Solve_cache.solve model seq));
-      let sc_run = Online_sc.run model seq in
-      let opt = Offline_dp.cost (Solve_cache.solve model seq) in
-      if opt > 0.0 then Obs.set_gauge g_ratio (sc_run.Online_sc.total_cost /. opt)
+      let report = Dcache_sim.Auditor.finish auditor in
+      Obs.set_gauge g_opt report.Dcache_sim.Auditor.opt_cost;
+      (* always written: a zero-optimum batch reads 1.0 rather than
+         silently keeping the previous batch's ratio *)
+      Obs.set_gauge g_ratio
+        (Dcache_obs.Audit.ratio ~online:report.Dcache_sim.Auditor.online_cost
+           ~opt:report.Dcache_sim.Auditor.opt_cost)
     in
     let rec loop i =
       if batches = 0 || i < batches then begin
@@ -479,9 +575,6 @@ let serve_metrics_cmd =
     write_timeline ();
     Prom.close server;
     (match bridge with Some t -> Bridge.stop t | None -> ());
-    let cs = Solve_cache.stats () in
-    Printf.printf "dcache: solve memo: %d hits / %d misses, %d live entries (%d evicted)\n"
-      cs.Solve_cache.hits cs.Solve_cache.misses cs.Solve_cache.size cs.Solve_cache.evictions;
     Printf.printf "dcache: ran %d batches, kept %d timeline snapshots (%d dropped)\n" ran
       (Recorder.snapshots flight) (Recorder.dropped flight)
   in
@@ -542,6 +635,7 @@ let () =
             analyze_cmd;
             render_cmd;
             stream_cmd;
+            audit_cmd;
             serve_metrics_cmd;
             check_metrics_cmd;
             experiments_cmd;

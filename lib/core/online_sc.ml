@@ -56,6 +56,7 @@ type state = {
   from_transfer : bool array;
   queue : Pq.t;  (* expiration events, tuple-free for the hot loop *)
   mutable live : int;  (* the paper's counter c *)
+  mutable act_sum : float;  (* sum of activation times over live copies *)
   mutable next_stamp : int;
   mutable caching : float;
   mutable segments : segment list;
@@ -72,16 +73,23 @@ let refresh st server time =
   st.next_stamp <- st.next_stamp + 1;
   Pq.push st.queue ~time:st.expiry.(server) ~server
 
+(* [act_sum] tracks the sum of activation times over the currently
+   live copies, so the caching cost accrued up to any instant [t] is
+   [caching + mu * (live * t - act_sum)] — the O(1) readback behind
+   [Incremental.cost_so_far].  Activation and deactivation are the
+   only places a copy enters or leaves the live set. *)
 let activate st server time ~by_transfer =
   st.active.(server) <- true;
   st.activated.(server) <- time;
   st.from_transfer.(server) <- by_transfer;
   st.live <- st.live + 1;
+  st.act_sum <- st.act_sum +. time;
   refresh st server time
 
 let deactivate st server time =
   st.active.(server) <- false;
   st.live <- st.live - 1;
+  st.act_sum <- st.act_sum -. st.activated.(server);
   st.caching <- st.caching +. (st.mu *. (time -. st.activated.(server)));
   st.segments <-
     {
@@ -168,60 +176,109 @@ let rec most_recent_live st m k best =
     most_recent_live st m (k + 1) k
   else most_recent_live st m (k + 1) best
 
-let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy model seq =
-  Obs.spanned sp_run @@ fun () ->
-  if epoch_size < 1 then invalid_arg "Online_sc.run: epoch_size must be positive";
-  let delta_t =
-    match window with
-    | None -> Cost_model.delta_t model
-    | Some w ->
-        if not (w > 0.) then invalid_arg "Online_sc.run: window must be positive";
-        w
-  in
-  let window_for =
-    match window_policy with
-    | None -> fun ~server:_ ~time:_ -> delta_t
-    | Some f ->
-        fun ~server ~time ->
-          let w = f ~server ~time in
-          if not (w > 0.) then invalid_arg "Online_sc.run: window_policy must be positive";
+module Incremental = struct
+  type nonrec t = {
+    st : state;
+    model : Cost_model.t;
+    m : int;
+    epoch_size : int;
+    mutable n : int;  (* requests fed so far *)
+    mutable last_time : float;
+    mutable num_transfers : int;
+    mutable epoch_transfers : int;
+    mutable num_epochs : int;  (* completed epoch resets *)
+    mutable last_copy_server : int;
+    (* serve log without per-request boxing: [-1] = by cache, else the
+       transfer source; materialised as [serve_kind array] in [finish] *)
+    mutable serves : int array;
+    mutable finished : bool;
+  }
+
+  let create ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy model ~m =
+    if epoch_size < 1 then invalid_arg "Online_sc: epoch_size must be positive";
+    if m < 1 then invalid_arg "Online_sc: m must be positive";
+    let delta_t =
+      match window with
+      | None -> Cost_model.delta_t model
+      | Some w ->
+          if not (w > 0.) then invalid_arg "Online_sc: window must be positive";
           w
-  in
-  let n = Sequence.n seq and m = Sequence.m seq in
-  let st =
+    in
+    let window_for =
+      match window_policy with
+      | None -> fun ~server:_ ~time:_ -> delta_t
+      | Some f ->
+          fun ~server ~time ->
+            let w = f ~server ~time in
+            if not (w > 0.) then invalid_arg "Online_sc: window_policy must be positive";
+            w
+    in
+    let st =
+      {
+        delta_t;
+        window_for;
+        mu = model.Cost_model.mu;
+        active = Array.make m false;
+        expiry = Array.make m 0.0;
+        activated = Array.make m 0.0;
+        last_use = Array.make m 0.0;
+        stamp = Array.make m 0;
+        from_transfer = Array.make m false;
+        queue = Pq.create ();
+        live = 0;
+        act_sum = 0.0;
+        next_stamp = 1;
+        caching = 0.0;
+        segments = [];
+        events = [];
+        record = record_events;
+      }
+    in
+    activate st 0 0.0 ~by_transfer:false;
     {
-      delta_t;
-      window_for;
-      mu = model.Cost_model.mu;
-      active = Array.make m false;
-      expiry = Array.make m 0.0;
-      activated = Array.make m 0.0;
-      last_use = Array.make m 0.0;
-      stamp = Array.make m 0;
-      from_transfer = Array.make m false;
-      queue = Pq.create ();
-      live = 0;
-      next_stamp = 1;
-      caching = 0.0;
-      segments = [];
-      events = [];
-      record = record_events;
+      st;
+      model;
+      m;
+      epoch_size;
+      n = 0;
+      last_time = 0.0;
+      num_transfers = 0;
+      epoch_transfers = 0;
+      num_epochs = 0;
+      last_copy_server = 0;
+      serves = Array.make 16 (-1);
+      finished = false;
     }
-  in
-  activate st 0 0.0 ~by_transfer:false;
-  let num_transfers = ref 0 in
-  let epoch_transfers = ref 0 and num_epochs = ref 0 in
-  let last_copy_server = ref 0 in
-  let serves = Array.make (n + 1) By_cache in
-  for i = 1 to n do
-    let j = Sequence.server seq i and ti = Sequence.time seq i in
-    (* dcache-sema: allow S1 — expirations are rare (one per window, not per request); the segment/event records they produce are the run's output *)
+
+  let n t = t.n
+  let transfers_so_far t = t.num_transfers
+
+  (* O(1): the closed-segment cost lives in [st.caching]; the still-open
+     segments contribute mu * (live * now - act_sum). *)
+  let cost_so_far t =
+    let st = t.st in
+    let caching = st.caching +. (st.mu *. ((float_of_int st.live *. t.last_time) -. st.act_sum)) in
+    Cost_model.add t.model ~caching ~transfers:t.num_transfers
+
+  let feed t ~server ~time =
+    if t.finished then invalid_arg "Online_sc.Incremental.feed: state already finished";
+    if server < 0 || server >= t.m then invalid_arg "Online_sc.Incremental.feed: server out of range";
+    if not (time > t.last_time) then
+      invalid_arg "Online_sc.Incremental.feed: times must be strictly increasing";
+    let st = t.st in
+    let j = server and ti = time in
     drain st ti;
+    let i = t.n + 1 in
+    if i >= Array.length t.serves then begin
+      (* amortised doubling of the serve log: O(1) per request *)
+      let grown = Array.make (2 * Array.length t.serves) (-1) in
+      Array.blit t.serves 0 grown 0 (Array.length t.serves);
+      t.serves <- grown
+    end;
     if st.active.(j) && st.expiry.(j) >= ti then begin
       (* live local copy: serve from cache and renew its window *)
       refresh st j ti;
-      serves.(i) <- By_cache;
-      (* dcache-sema: allow S1 — event cons is guarded by [record_events], off on hot runs *)
+      t.serves.(i) <- -1;
       log st (Served { index = i; server = j; time = ti; kind = By_cache })
     end
     else begin
@@ -231,57 +288,92 @@ let run ?(epoch_size = max_int) ?(record_events = false) ?window ?window_policy 
          refreshed live copy (one always exists: the last copy is
          never dropped). *)
       let src =
-        if st.active.(!last_copy_server) then !last_copy_server
-        else most_recent_live st m 0 (-1)
+        if st.active.(t.last_copy_server) then t.last_copy_server
+        else most_recent_live st t.m 0 (-1)
       in
       assert (src >= 0 && st.active.(src));
-      incr num_transfers;
-      incr epoch_transfers;
+      t.num_transfers <- t.num_transfers + 1;
+      t.epoch_transfers <- t.epoch_transfers + 1;
       refresh st src ti;
       activate st j ti ~by_transfer:true;
-      serves.(i) <- By_transfer src;
+      t.serves.(i) <- src;
       log st (Served { index = i; server = j; time = ti; kind = By_transfer src })
     end;
-    last_copy_server := j;
-    if !epoch_transfers >= epoch_size then begin
-      if Obs.probe () then Obs.observe h_epoch_transfers (float_of_int !epoch_transfers);
-      for k = 0 to m - 1 do
+    t.last_copy_server <- j;
+    t.n <- i;
+    t.last_time <- ti;
+    if t.epoch_transfers >= t.epoch_size then begin
+      if Obs.probe () then Obs.observe h_epoch_transfers (float_of_int t.epoch_transfers);
+      for k = 0 to t.m - 1 do
         if k <> j && st.active.(k) then begin
           (* dcache-sema: allow S1 — epoch resets are rare by construction (every epoch_size transfers); the closed segments are the run's output *)
           deactivate st k ti;
+          (* dcache-sema: allow S1 — epoch-reset event cons, rare and guarded by [record_events] *)
           log st (Expired { server = k; time = ti })
         end
       done;
-      epoch_transfers := 0;
-      incr num_epochs;
+      t.epoch_transfers <- 0;
+      t.num_epochs <- t.num_epochs + 1;
       log st (Epoch_reset { time = ti; kept = j })
     end
+  [@@hot]
+
+  let finish ?horizon t =
+    if t.finished then invalid_arg "Online_sc.Incremental.finish: state already finished";
+    let horizon =
+      match horizon with
+      | None -> t.last_time
+      | Some h ->
+          if h < t.last_time then
+            invalid_arg "Online_sc.Incremental.finish: horizon before the last request";
+          h
+    in
+    t.finished <- true;
+    let st = t.st in
+    (* truncate surviving copies at the horizon *)
+    for k = 0 to t.m - 1 do
+      if st.active.(k) then deactivate st k horizon
+    done;
+    (* bulk counter flush: one probe for the whole run, nothing in the
+       request loop (evictions = closed cache segments) *)
+    if Obs.probe () then begin
+      Obs.add c_serves t.n;
+      Obs.add c_transfers t.num_transfers;
+      Obs.add c_epoch_resets t.num_epochs;
+      Obs.add c_evictions (List.length st.segments)
+    end;
+    let serves =
+      Array.init (t.n + 1) (fun i ->
+          if i = 0 then By_cache
+          else
+            match t.serves.(i) with
+            | -1 -> By_cache
+            | src -> By_transfer src)
+    in
+    (* transfers all cost lambda: count them and multiply once, instead
+       of folding +. lambda per request (exact, and S4-clean) *)
+    {
+      caching_cost = st.caching;
+      transfer_cost = float_of_int t.num_transfers *. t.model.Cost_model.lambda;
+      total_cost = Cost_model.add t.model ~caching:st.caching ~transfers:t.num_transfers;
+      num_transfers = t.num_transfers;
+      num_epochs = t.num_epochs + 1;
+      serves;
+      events = List.rev st.events;
+      segments = List.rev st.segments;
+    }
+end
+
+let run ?epoch_size ?record_events ?window ?window_policy model seq =
+  Obs.spanned sp_run @@ fun () ->
+  let n = Sequence.n seq in
+  let inc =
+    Incremental.create ?epoch_size ?record_events ?window ?window_policy model ~m:(Sequence.m seq)
+  in
+  for i = 1 to n do
+    Incremental.feed inc ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
   done;
-  (* truncate surviving copies at the horizon *)
-  let horizon = Sequence.horizon seq in
-  for k = 0 to m - 1 do
-    if st.active.(k) then deactivate st k horizon
-  done;
-  (* bulk counter flush: one probe for the whole run, nothing in the
-     request loop (evictions = closed cache segments) *)
-  if Obs.probe () then begin
-    Obs.add c_serves n;
-    Obs.add c_transfers !num_transfers;
-    Obs.add c_epoch_resets !num_epochs;
-    Obs.add c_evictions (List.length st.segments)
-  end;
-  (* transfers all cost lambda: count them and multiply once, instead
-     of folding +. lambda per request (exact, and S4-clean) *)
-  {
-    caching_cost = st.caching;
-    transfer_cost = float_of_int !num_transfers *. model.Cost_model.lambda;
-    total_cost = Cost_model.add model ~caching:st.caching ~transfers:!num_transfers;
-    num_transfers = !num_transfers;
-    num_epochs = !num_epochs + 1;
-    serves;
-    events = List.rev st.events;
-    segments = List.rev st.segments;
-  }
+  Incremental.finish inc ~horizon:(Sequence.horizon seq)
 [@@hot]
 
 let schedule_of_run seq (run : run) =

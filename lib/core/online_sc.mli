@@ -59,6 +59,60 @@ type run = {
   segments : segment list;  (** every copy lifetime, chronological *)
 }
 
+(** Request-at-a-time SC.  {!val-run} is a loop over this module; the
+    streaming auditor ({!Dcache_sim.Auditor}) feeds it in lockstep
+    with [Streaming_dp.push] to watch the online-vs-offline ratio
+    live.  The state machine is identical to {!val-run} — feeding the
+    requests of a sequence in order and calling {!Incremental.finish}
+    at its horizon returns the same {!type-run} record, field for
+    field. *)
+module Incremental : sig
+  type t
+  (** An in-progress SC run: the item lives on server [0] at time [0]
+      with a fresh window, no requests fed yet. *)
+
+  val create :
+    ?epoch_size:int ->
+    ?record_events:bool ->
+    ?window:float ->
+    ?window_policy:(server:int -> time:float -> float) ->
+    Cost_model.t ->
+    m:int ->
+    t
+  (** Parameters are those of {!val-run}; [m] is the number of servers
+      (a {!Sequence.t} validates it upfront, a stream cannot).
+      @raise Invalid_argument if [m < 1], [epoch_size < 1], or
+      [window] is not positive. *)
+
+  val feed : t -> server:int -> time:float -> unit
+  (** Serves one request: [O(log n)] amortised (expiry-queue
+      traffic), constant work otherwise.
+      @raise Invalid_argument if the state is finished, [server] is
+      outside [\[0, m)], or [time] does not exceed the previous
+      request's time.
+      @raise Invalid_argument if [window_policy] returns a
+      non-positive window. *)
+
+  val cost_so_far : t -> float
+  (** Total SC cost of the prefix fed so far, with caching accrued up
+      to the last request's time — exactly [(run model seq').total_cost]
+      for [seq'] the fed prefix, since {!val-run} also truncates at the
+      horizon.  [O(1)]: open segments are costed as
+      [mu * (live * now - sum of activation times)]. *)
+
+  val n : t -> int
+  (** Requests fed so far. *)
+
+  val transfers_so_far : t -> int
+
+  val finish : ?horizon:float -> t -> run
+  (** Closes every live copy at [horizon] (default: the last request's
+      time) and returns the completed run.  The state is consumed:
+      any later {!feed}/{!finish} raises.
+      @raise Invalid_argument if already finished or [horizon] precedes
+      the last request. *)
+end
+
 val run :
   ?epoch_size:int ->
   ?record_events:bool ->

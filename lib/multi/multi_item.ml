@@ -1,4 +1,14 @@
 open Dcache_core
+module Obs = Dcache_obs.Obs
+
+(* the one library layer that had no obs coverage: spans on both
+   public planners, an item counter, a per-DP-evaluation counter (the
+   budget search's work metric) and the final dual multiplier *)
+let sp_plan = Obs.span_name "multi_item.plan"
+let sp_budget = Obs.span_name "multi_item.budget_plan"
+let c_items = Obs.counter "multi_item.items_planned"
+let c_evals = Obs.counter "multi_item.plan_evals"
+let g_multiplier = Obs.gauge "multi_item.multiplier"
 
 type item = { label : string; size : float; requests : Request.t array }
 
@@ -69,9 +79,15 @@ let assemble items =
     total_transfer = total (fun p -> p.p_transfer);
   }
 
-let plan_at model ~multiplier pairs = assemble (List.map (solve_item model ~multiplier) pairs)
+let plan_at model ~multiplier pairs =
+  if Obs.probe () then Obs.incr c_evals;
+  assemble (List.map (solve_item model ~multiplier) pairs)
 
-let plan model ~m items = plan_at model ~multiplier:0.0 (validate ~m items)
+let plan model ~m items =
+  Obs.spanned sp_plan @@ fun () ->
+  let pairs = validate ~m items in
+  if Obs.probe () then Obs.add c_items (List.length pairs);
+  plan_at model ~multiplier:0.0 pairs
 
 let minimum_caching model ~m items =
   List.fold_left
@@ -81,7 +97,9 @@ let minimum_caching model ~m items =
 type budgeted = { feasible : plan; multiplier : float; dual_bound : float }
 
 let plan_with_caching_budget ?(tolerance = 1e-6) model ~m ~budget items =
+  Obs.spanned sp_budget @@ fun () ->
   let pairs = validate ~m items in
+  if Obs.probe () then Obs.add c_items (List.length pairs);
   let floor_spend =
     List.fold_left
       (fun acc (it, seq) -> acc +. (model.Cost_model.mu *. it.size *. Sequence.horizon seq))
@@ -95,8 +113,10 @@ let plan_with_caching_budget ?(tolerance = 1e-6) model ~m ~budget items =
          budget floor_spend)
   else begin
     let unconstrained = plan_at model ~multiplier:0.0 pairs in
-    if unconstrained.total_caching <= budget +. Dcache_prelude.Float_cmp.default_eps then
+    if unconstrained.total_caching <= budget +. Dcache_prelude.Float_cmp.default_eps then begin
+      if Obs.probe () then Obs.set_gauge g_multiplier 0.0;
       Ok { feasible = unconstrained; multiplier = 0.0; dual_bound = unconstrained.total_cost }
+    end
     else begin
       (* dual value at theta: relaxed objective minus theta * budget *)
       let dual theta p = p.total_cost +. (theta *. p.total_caching) -. (theta *. budget) in
@@ -125,6 +145,7 @@ let plan_with_caching_budget ?(tolerance = 1e-6) model ~m ~budget items =
         end
         else lo := mid
       done;
+      if Obs.probe () then Obs.set_gauge g_multiplier !best_theta;
       Ok { feasible = !best_feasible; multiplier = !best_theta; dual_bound = !best_dual }
       end
     end

@@ -1,0 +1,77 @@
+open Dcache_core
+module Audit = Dcache_obs.Audit
+
+type t = {
+  inc : Online_sc.Incremental.t;
+  dp : Streaming_dp.t;
+  audit : Audit.t;
+  inflate : float;
+  on_window : (Audit.window -> unit) option;
+}
+
+type report = {
+  requests : int;
+  online_cost : float;
+  opt_cost : float;
+  final_ratio : float;
+  windows : int;
+  violations : int;
+  witnesses : Audit.witness list;
+  run : Online_sc.run;
+}
+
+let create ?window_size ?bound ?epsilon ?witness_capacity ?epoch_size ?(inflate = 1.0) ?on_window
+    model ~m =
+  if not (inflate > 0.0) then invalid_arg "Auditor.create: inflate must be positive";
+  {
+    inc = Online_sc.Incremental.create ?epoch_size model ~m;
+    dp = Streaming_dp.create model ~m;
+    audit = Audit.create ?window_size ?bound ?epsilon ?witness_capacity ();
+    inflate;
+    on_window;
+  }
+
+let fire_window t closed =
+  match t.on_window with
+  | Some f when closed -> (
+      match Audit.last_window t.audit with Some w -> f w | None -> ())
+  | _ -> ()
+
+let feed t ~server ~time =
+  Online_sc.Incremental.feed t.inc ~server ~time;
+  Streaming_dp.push t.dp ~server ~time;
+  let online = t.inflate *. Online_sc.Incremental.cost_so_far t.inc in
+  let opt = Streaming_dp.cost t.dp in
+  let closed = Audit.observe t.audit ~online ~opt in
+  fire_window t closed
+
+let audit t = t.audit
+let online_cost_so_far t = Online_sc.Incremental.cost_so_far t.inc
+let opt_cost_so_far t = Streaming_dp.cost t.dp
+
+let finish t =
+  let closed = Audit.flush t.audit in
+  fire_window t closed;
+  let run = Online_sc.Incremental.finish t.inc in
+  let opt_cost = Streaming_dp.cost t.dp in
+  {
+    requests = Audit.n t.audit;
+    online_cost = run.Online_sc.total_cost;
+    opt_cost;
+    final_ratio = Audit.ratio ~online:(t.inflate *. run.Online_sc.total_cost) ~opt:opt_cost;
+    windows = Audit.windows_closed t.audit;
+    violations = Audit.violations t.audit;
+    witnesses = Audit.witnesses t.audit;
+    run;
+  }
+
+let replay ?window_size ?bound ?epsilon ?witness_capacity ?epoch_size ?inflate ?on_window model seq
+    =
+  let t =
+    create ?window_size ?bound ?epsilon ?witness_capacity ?epoch_size ?inflate ?on_window model
+      ~m:(Sequence.m seq)
+  in
+  for i = 1 to Sequence.n seq do
+    feed t ~server:(Sequence.server seq i) ~time:(Sequence.time seq i)
+  done;
+  finish t

@@ -17,6 +17,7 @@ let () =
       ("solve-cache", Test_solve_cache.suite);
       ("viz", Test_viz.suite);
       ("obs", Test_obs.suite);
+      ("audit", Test_audit.suite);
       ("invariants", Test_invariants.suite);
       ("lint", Test_lint.suite);
       ("sema", Test_sema.suite);

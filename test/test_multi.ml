@@ -133,6 +133,47 @@ let budget_tightening_raises_cost () =
   let loose = cost_at 0.9 and tight = cost_at 0.1 in
   check_le "tighter budget costs at least as much" loose tight
 
+(* The planner's telemetry (docs/OBSERVABILITY.md): item/eval
+   counters, the plan spans and the budget-multiplier gauge must fire
+   under a recording sink and stay dead otherwise (the Noop contract
+   is bench-gated, not re-tested here). *)
+let plan_telemetry_recorded () =
+  let module Obs = Dcache_obs.Obs in
+  let r = Obs.recorder ~clock:(Dcache_obs.Clock.ticks ()) () in
+  Obs.set_sink (Obs.Recording r);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.Noop;
+      Obs.reset ())
+  @@ fun () ->
+  let items = catalogue () in
+  let _free = M.plan model ~m:3 items in
+  let counter name = Obs.counter_value (Obs.counter name) in
+  let span_count name =
+    match List.assoc_opt name (Obs.span_durations ()) with
+    | Some h -> Dcache_obs.Histo_log.count h
+    | None -> 0
+  in
+  Alcotest.(check int) "plan counts its items" (List.length items)
+    (counter "multi_item.items_planned");
+  Alcotest.(check bool) "plan evaluated the catalogue" true (counter "multi_item.plan_evals" >= 1);
+  Alcotest.(check int) "plan span recorded" 1 (span_count "multi_item.plan");
+  let floor_spend = M.minimum_caching model ~m:3 items in
+  let free_spend = (M.plan model ~m:3 items).M.total_caching in
+  (match
+     M.plan_with_caching_budget model ~m:3
+       ~budget:(floor_spend +. (0.25 *. (free_spend -. floor_spend)))
+       items
+   with
+  | Ok b ->
+      check_float "multiplier gauge holds the binding theta" b.M.multiplier
+        (Obs.gauge_value (Obs.gauge "multi_item.multiplier"));
+      Alcotest.(check bool) "binding budget needs a positive theta" true (b.M.multiplier > 0.0)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "budget span recorded" 1 (span_count "multi_item.budget_plan");
+  Alcotest.(check bool) "bisection bumped the eval counter" true
+    (counter "multi_item.plan_evals" > 2)
+
 let suite =
   [
     case "multi: independent plan sums per-item optima" independent_plan_is_sum_of_optima;
@@ -145,4 +186,5 @@ let suite =
     case "multi: infeasible budget rejected" budget_below_floor_rejected;
     budget_monotone_in_theta;
     case "multi: tightening the budget raises cost" budget_tightening_raises_cost;
+    case "multi: planner telemetry records under a live sink" plan_telemetry_recorded;
   ]

@@ -18,7 +18,7 @@ module F = Report_finding
    every unit digest, so a rules update invalidates the incremental
    cache wholesale and stale cached analyses cannot mask new
    findings. *)
-let analyzer_version = "8"
+let analyzer_version = "9"
 
 let catalog =
   [
@@ -35,7 +35,7 @@ let catalog =
     ("S4", "numeric stability: float cost accumulator folded with bare +. in a loop");
     ( "S5",
       "observability discipline: a Recording sink constructed, or a Recorder ring / Prometheus \
-       endpoint created, inside a [@@hot] body" );
+       endpoint / Audit state created, inside a [@@hot] body" );
     ( "S6",
       "generator purity: a lib/workload generator must be a deterministic function of \
        (seed, spec), transitively through its callees" );
@@ -243,13 +243,17 @@ let check_s1 ~path add structure =
    The same discipline covers the obs setup entry points that arrived
    with the telemetry layer: [Recorder.create] preallocates a snapshot
    ring and [Prometheus.listen] binds a socket — both exist to be
-   called once at startup, never per request.  Matched on the resolved
-   application path's last two components, so local modules named
-   [Recorder]/[Prometheus] in fixtures key the same way as the real
-   [Dcache_obs] ones. *)
+   called once at startup, never per request.  [Audit.create]
+   (the streaming competitive-ratio auditor) joined the same family:
+   it allocates a witness ring and owns per-stream telemetry state,
+   so a fresh auditor inside a [@@hot] body means audit state is
+   being rebuilt on the request path instead of living with the
+   stream.  Matched on the resolved application path's last two
+   components, so local modules named [Recorder]/[Prometheus]/[Audit]
+   in fixtures key the same way as the real [Dcache_obs] ones. *)
 
 let s5_setup_call = function
-  | ("Recorder", "create") | ("Prometheus", "listen") -> true
+  | ("Recorder", "create") | ("Prometheus", "listen") | ("Audit", "create") -> true
   | _ -> false
 
 let is_sink_type ty =
