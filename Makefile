@@ -87,7 +87,9 @@ metrics-demo: build
 	curl -sf "http://127.0.0.1:$$port/metrics" > _build/metrics-demo.prom; \
 	kill $$pid 2>/dev/null || true; \
 	$(BUILD)/bin/dcache.exe check-metrics _build/metrics-demo.prom; \
-	echo "metrics-demo: OK (exposition saved to _build/metrics-demo.prom)"
+	grep -qF 'dcache_serve_item_sc_vs_opt{item="item0"}' _build/metrics-demo.prom \
+	  || { echo "metrics-demo: no labeled family in the exposition"; exit 1; }; \
+	echo "metrics-demo: OK (exposition saved to _build/metrics-demo.prom, labeled families present)"
 
 # replay the bundled request traces through the streaming
 # competitive-ratio auditor: per-window ratios on stdout, a validated

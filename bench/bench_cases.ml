@@ -317,6 +317,98 @@ let measure_audit_cost () =
   done;
   { observe_words; observe_ns = !best /. float_of_int iters }
 
+(* ------------------------------------------- labeled-family budgets *)
+
+(* Labeled children ([Obs.counter_vec] and friends) keep a two-sided
+   contract (docs/OBSERVABILITY.md): once resolved, a child IS a plain
+   cell — bumping it is the same single atomic op as an unlabeled
+   counter and allocates 0 minor words — while resolution
+   ([counter_with_label], the hash-interning step) takes the registry
+   lock and is priced for registration or loop entry, never the
+   per-request path (sema rule S5 flags it inside [@@hot] bodies).
+   The resolve budget is deliberately loose: it bounds "hash a short
+   string under a lock" and exists to catch an accidental O(children)
+   rescan, not cache noise. *)
+let max_labeled_resolve_ns = 20_000.0
+
+type labeled_cost = {
+  bump_words : float;  (* minor words per resolved-child bump: must be 0 *)
+  bump_ns : float;  (* wall ns per resolved-child bump, min of 3 *)
+  resolve_ns : float;  (* per re-resolution of an existing child *)
+}
+
+let labeled_vec () = Obs.counter_vec "bench.labeled" ~labels:[ "lane" ]
+
+let measure_labeled_cost () =
+  (* bump under a live recording sink: the stronger claim — the child
+     stays allocation-free even while its cell is actually written *)
+  let r = Obs.recorder () in
+  Obs.set_sink (Obs.Recording r);
+  let clock = Dcache_obs.Clock.monotonic () in
+  let v = labeled_vec () in
+  let c = Obs.counter_with_label v "hot" in
+  let iters = 2_000_000 in
+  let bump_loop () =
+    for _ = 1 to iters do
+      Obs.incr c
+    done
+  in
+  bump_loop ();
+  let calib =
+    let b0 = Gc.minor_words () in
+    let b1 = Gc.minor_words () in
+    b1 -. b0
+  in
+  let w0 = Gc.minor_words () in
+  bump_loop ();
+  bump_loop ();
+  bump_loop ();
+  let w1 = Gc.minor_words () in
+  let bump_words = Float.max 0.0 ((w1 -. w0 -. calib) /. float_of_int (3 * iters)) in
+  let min3 f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t = f () in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let bump_run () =
+    let t0 = Dcache_obs.Clock.now clock in
+    bump_loop ();
+    float_of_int (Dcache_obs.Clock.now clock - t0)
+  in
+  let bump_ns = min3 bump_run /. float_of_int iters in
+  let r_iters = 50_000 in
+  let resolve_loop () =
+    for _ = 1 to r_iters do
+      ignore (Obs.counter_with_label v "hot" : Obs.counter)
+    done
+  in
+  resolve_loop ();
+  let resolve_run () =
+    let t0 = Dcache_obs.Clock.now clock in
+    resolve_loop ();
+    float_of_int (Dcache_obs.Clock.now clock - t0)
+  in
+  let resolve_ns = min3 resolve_run /. float_of_int r_iters in
+  Obs.set_sink Obs.Noop;
+  { bump_words; bump_ns; resolve_ns }
+
+(* The bechamel-tracked shape of the same path: resolve + bump per
+   iteration, i.e. the cost of doing it the way S5 forbids — kept in
+   the timing report so the interning step has a trend line. *)
+let labeled_group = "obs"
+let labeled_name = "labeled resolve+bump x1000"
+
+let labeled_test () =
+  let v = labeled_vec () in
+  Test.make ~name:labeled_name
+    (Staged.stage (fun () ->
+         for _ = 1 to 1000 do
+           Obs.incr (Obs.counter_with_label v "hot")
+         done))
+
 (* ---------------------------------------- recording-mode span budget *)
 
 (* Recording is not free — each [Obs.spanned] pays two clock reads,

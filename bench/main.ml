@@ -170,6 +170,9 @@ let workload_tests =
                   })));
     ]
 
+let obs_tests =
+  Test.make_grouped ~name:Bench_cases.labeled_group [ Bench_cases.labeled_test () ]
+
 let groups ~quick =
   [
     ("offline", offline_tests ~quick);
@@ -178,6 +181,7 @@ let groups ~quick =
     ("simulator", simulator_tests);
     ("extensions", extension_tests);
     ("workload", workload_tests);
+    (Bench_cases.labeled_group, obs_tests);
   ]
 
 (* ------------------------------------------------------------- reporting *)

@@ -11,7 +11,10 @@
      (Bench_cases.max_obs_overhead_frac), and
    - a *recorded* span stays within the recording-mode budget
      (Bench_cases.max_words_per_span minor words and
-     Bench_cases.max_ns_per_span wall ns per [Obs.spanned]).
+     Bench_cases.max_ns_per_span wall ns per [Obs.spanned]), and
+   - a resolved labeled child ([Obs.counter_vec]) bump allocates 0
+     minor words, with child re-resolution under
+     Bench_cases.max_labeled_resolve_ns.
 
    Exits 1 when any budget is blown. *)
 
@@ -65,7 +68,26 @@ let () =
       ac.Bench_cases.observe_words Bench_cases.max_audit_words_per_observe;
     exit 1
   end;
+  (* labeled-family budget: a resolved counter_vec child is a plain
+     cell — bumping it allocates 0 minor words even under a live
+     recording sink — and re-resolving an existing child stays a
+     bounded hash+lock *)
+  let lc = Bench_cases.measure_labeled_cost () in
+  Printf.printf "labeled bump:    %8.3f ns, %.6f minor words; resolve %.1f ns (budget %.0f ns)\n"
+    lc.Bench_cases.bump_ns lc.Bench_cases.bump_words lc.Bench_cases.resolve_ns
+    Bench_cases.max_labeled_resolve_ns;
+  if lc.Bench_cases.bump_words > 0.0 then begin
+    Printf.eprintf "obs-overhead: a labeled child bump allocates %.6f minor words (budget 0)\n"
+      lc.Bench_cases.bump_words;
+    exit 1
+  end;
+  if lc.Bench_cases.resolve_ns > Bench_cases.max_labeled_resolve_ns then begin
+    Printf.eprintf "obs-overhead: resolving an existing labeled child costs %.1f ns (budget %.0f)\n"
+      lc.Bench_cases.resolve_ns Bench_cases.max_labeled_resolve_ns;
+    exit 1
+  end;
   (* sanity: the counters the probes feed really are dead while
      disabled *)
   Obs.reset ();
-  print_endline "OK: Noop sink is free on the hot path, recording and audit within budget"
+  print_endline
+    "OK: Noop sink is free on the hot path, recording, audit and labeled bumps within budget"

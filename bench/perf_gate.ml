@@ -16,7 +16,10 @@
      uncached sweep,
    - the observability no-op contract is broken (a disabled probe
      allocates, or costs more than
-     [Bench_cases.max_obs_overhead_frac] of a push), or
+     [Bench_cases.max_obs_overhead_frac] of a push),
+   - a resolved labeled child ([Obs.counter_vec]) bump allocates, or
+     re-resolving an existing child exceeds
+     [Bench_cases.max_labeled_resolve_ns], or
    - the baseline is missing, malformed, or lacks the gated entry.
 
    Performance failures re-run the offending hot path under a
@@ -169,7 +172,21 @@ let () =
   if ac.Bench_cases.observe_words > Bench_cases.max_audit_words_per_observe then
     fail_perf "a Noop-sink Audit.observe allocates %.3f minor words (budget %.1f)"
       ac.Bench_cases.observe_words Bench_cases.max_audit_words_per_observe;
+  (* fifth budget: labeled-family children are plain cells — a
+     resolved child bump keeps the 0-word contract even under a live
+     recording sink, and re-resolving an existing child stays a
+     bounded hash+lock (the step S5 keeps out of [@@hot] bodies) *)
+  let lc = Bench_cases.measure_labeled_cost () in
+  Printf.printf "labeled vec:   %12.3f ns/bump (%.6f words), %.1f ns/resolve (budget %.0f ns)\n%!"
+    lc.Bench_cases.bump_ns lc.Bench_cases.bump_words lc.Bench_cases.resolve_ns
+    Bench_cases.max_labeled_resolve_ns;
+  if lc.Bench_cases.bump_words > 0.0 then
+    fail_perf "a labeled child bump allocates %.6f minor words (budget 0)"
+      lc.Bench_cases.bump_words;
+  if lc.Bench_cases.resolve_ns > Bench_cases.max_labeled_resolve_ns then
+    fail_perf "resolving an existing labeled child costs %.1f ns (budget %.0f)"
+      lc.Bench_cases.resolve_ns Bench_cases.max_labeled_resolve_ns;
   Printf.printf
-    "OK: streaming push within %.0f%% of baseline, Noop probes, recorded spans and audit observes \
-     within budget\n"
+    "OK: streaming push within %.0f%% of baseline, Noop probes, recorded spans, audit observes \
+     and labeled bumps within budget\n"
     ((regression_factor -. 1.0) *. 100.0)

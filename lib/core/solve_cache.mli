@@ -44,6 +44,14 @@ val all_freqs : unit -> int list
 (** Per-entry hit counts of the live entries, most-used first.
     Entries that never hit report [0]. *)
 
+val publish_freqs : unit -> unit
+(** Export {!all_freqs} through the labeled [solve_cache.entry_freq]
+    gauge family: one child per popularity rank ([rank="0"] is the
+    hottest entry, 8 ranks) plus [rank="other"] carrying the summed
+    tail; unused ranks are zeroed.  No-op under the [Noop] sink.
+    Call it from the serving loop whenever a scrape-fresh profile is
+    wanted. *)
+
 val clear : unit -> unit
 (** Drops every entry.  Cumulative counters ([hits], [misses],
     [evictions]) are preserved — they describe traffic, not contents. *)

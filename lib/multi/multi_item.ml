@@ -10,6 +10,16 @@ let c_items = Obs.counter "multi_item.items_planned"
 let c_evals = Obs.counter "multi_item.plan_evals"
 let g_multiplier = Obs.gauge "multi_item.multiplier"
 
+(* Per-item labeled families, keyed by the item label the caller
+   chose.  Children are resolved at plan time — once per public
+   planning call, never inside the budget search's evaluation loop —
+   and bounded: past the cap new labels collapse into the ["other"]
+   child (see Obs's labeled families). *)
+let v_item_requests = Obs.counter_vec "multi_item.item_requests" ~labels:[ "item" ]
+let v_item_transfers = Obs.counter_vec "multi_item.item_transfers" ~labels:[ "item" ]
+let v_item_evictions = Obs.counter_vec "multi_item.item_evictions" ~labels:[ "item" ]
+let v_item_cost = Obs.gauge_vec "multi_item.item_cost" ~labels:[ "item" ]
+
 type item = { label : string; size : float; requests : Request.t array }
 
 let item ?(size = 1.0) label pairs =
@@ -83,11 +93,35 @@ let plan_at model ~multiplier pairs =
   if Obs.probe () then Obs.incr c_evals;
   assemble (List.map (solve_item model ~multiplier) pairs)
 
+(* Per-item breakdown of the plan a public planner returns: serves,
+   transfers, evictions (cache intervals dropped before the item's
+   horizon) and final cost, one labeled child per item label. *)
+let record_items pairs p =
+  if Obs.probe () then
+    List.iter2
+      (fun (it, seq) pi ->
+        let horizon = Sequence.horizon seq in
+        let evictions =
+          List.fold_left
+            (fun acc (c : Schedule.cache) -> if c.to_time < horizon then acc + 1 else acc)
+            0
+            (Schedule.caches pi.p_schedule)
+        in
+        Obs.add (Obs.counter_with_label v_item_requests it.label) (Sequence.n seq);
+        Obs.add
+          (Obs.counter_with_label v_item_transfers it.label)
+          (Schedule.num_transfers pi.p_schedule);
+        Obs.add (Obs.counter_with_label v_item_evictions it.label) evictions;
+        Obs.set_gauge (Obs.gauge_with_label v_item_cost it.label) pi.p_cost)
+      pairs p.items
+
 let plan model ~m items =
   Obs.spanned sp_plan @@ fun () ->
   let pairs = validate ~m items in
   if Obs.probe () then Obs.add c_items (List.length pairs);
-  plan_at model ~multiplier:0.0 pairs
+  let p = plan_at model ~multiplier:0.0 pairs in
+  record_items pairs p;
+  p
 
 let minimum_caching model ~m items =
   List.fold_left
@@ -115,6 +149,7 @@ let plan_with_caching_budget ?(tolerance = 1e-6) model ~m ~budget items =
     let unconstrained = plan_at model ~multiplier:0.0 pairs in
     if unconstrained.total_caching <= budget +. Dcache_prelude.Float_cmp.default_eps then begin
       if Obs.probe () then Obs.set_gauge g_multiplier 0.0;
+      record_items pairs unconstrained;
       Ok { feasible = unconstrained; multiplier = 0.0; dual_bound = unconstrained.total_cost }
     end
     else begin
@@ -146,6 +181,7 @@ let plan_with_caching_budget ?(tolerance = 1e-6) model ~m ~budget items =
         else lo := mid
       done;
       if Obs.probe () then Obs.set_gauge g_multiplier !best_theta;
+      record_items pairs !best_feasible;
       Ok { feasible = !best_feasible; multiplier = !best_theta; dual_bound = !best_dual }
       end
     end

@@ -12,6 +12,13 @@ let h_window_ratios =
   Obs.histogram "audit.window_ratios"
     ~buckets:[| 1.0; 1.25; 1.5; 2.0; 2.5; 3.0; 3.5; 4.0 |]
 
+(* Per-item families for multi-stream auditing ([dcache serve-metrics]
+   runs one auditor per item): distinct base names so the flat
+   aggregates above keep their own Prometheus families.  Children are
+   resolved once in [create] — never on the observe path. *)
+let v_item_window_ratio = Obs.gauge_vec "audit.item_window_ratio" ~labels:[ "item" ]
+let v_item_windows = Obs.counter_vec "audit.item_windows" ~labels:[ "item" ]
+
 (* Regret quantiles ride the span-duration histograms (the one
    Histo_log surface already exported to Prometheus summaries and the
    flight recorder).  Unit: nano-cost — 1 cost unit = 1e9 ticks — so
@@ -63,11 +70,15 @@ type t = {
   wit : witness option array;  (* ring, most recent kept *)
   mutable wit_pos : int;
   mutable flushed : bool;
+  (* labeled children for this stream's item, resolved at [create] *)
+  item_ratio : Obs.gauge option;
+  item_windows : Obs.counter option;
 }
 
 let ratio ~online ~opt = if opt > 0.0 then online /. opt else 1.0
 
-let create ?(window_size = 64) ?(bound = 3.0) ?(epsilon = 1e-6) ?(witness_capacity = 16) () =
+let create ?(window_size = 64) ?(bound = 3.0) ?(epsilon = 1e-6) ?(witness_capacity = 16) ?item ()
+    =
   if window_size < 1 then invalid_arg "Audit.create: window_size must be positive";
   if not (bound > 0.0) then invalid_arg "Audit.create: bound must be positive";
   if epsilon < 0.0 then invalid_arg "Audit.create: epsilon must be non-negative";
@@ -94,6 +105,8 @@ let create ?(window_size = 64) ?(bound = 3.0) ?(epsilon = 1e-6) ?(witness_capaci
     wit = Array.make witness_capacity None;
     wit_pos = 0;
     flushed = false;
+    item_ratio = Option.map (Obs.gauge_with_label v_item_window_ratio) item;
+    item_windows = Option.map (Obs.counter_with_label v_item_windows) item;
   }
 
 let close_window t =
@@ -117,7 +130,9 @@ let close_window t =
     Obs.set_gauge g_window_ratio r;
     Obs.set_gauge g_window_regret regret;
     Obs.observe h_window_ratios r;
-    Obs.observe_span_ns sp_window_regret (regret_ticks regret)
+    Obs.observe_span_ns sp_window_regret (regret_ticks regret);
+    (match t.item_windows with Some c -> Obs.incr c | None -> ());
+    match t.item_ratio with Some g -> Obs.set_gauge g r | None -> ()
   end
 
 let observe t ~online ~opt =

@@ -51,13 +51,29 @@ val ratio : online:float -> opt:float -> float
     optimum is nothing, so 1.0 is the honest report and never leaves
     a stale reading behind). *)
 
-val create : ?window_size:int -> ?bound:float -> ?epsilon:float -> ?witness_capacity:int -> unit -> t
+val create :
+  ?window_size:int ->
+  ?bound:float ->
+  ?epsilon:float ->
+  ?witness_capacity:int ->
+  ?item:string ->
+  unit ->
+  t
 (** [window_size] requests per regret window (default [64]);
     [bound] is the competitive bound to monitor (default [3.0],
     Theorem 3); [epsilon] the slack before firing (default [1e-6],
     absorbing float rounding in the cost recurrences);
     [witness_capacity] the size of the violation ring (default [16],
     keeping the most recent witnesses).
+
+    [item] names the stream this auditor watches in the labeled
+    [audit.item_window_ratio] / [audit.item_windows] families
+    ({!Obs.gauge_vec}): each closed window also sets this item's ratio
+    child and bumps its window counter.  The children are resolved
+    here, once — the observe path stays allocation-free — and
+    cardinality is bounded by the family cap (past it, items collapse
+    into the ["other"] child).  Without [item] only the unlabeled
+    aggregates are touched.
     @raise Invalid_argument if [window_size < 1], [bound <= 0.],
     [epsilon < 0.], or [witness_capacity < 1]. *)
 

@@ -47,6 +47,43 @@ let find_name names name =
   let rec go i = if i >= n then None else if String.equal names.(i) name then Some i else go (i + 1) in
   go 0
 
+(* ------------------------------------------- name & label validation *)
+
+(* Registry names are dot-namespaced ([streaming_dp.push]); the
+   Prometheus renderer maps '.' to '_', so the accepted grammar is the
+   text-format 0.0.4 metric-name grammar plus '.'.  '{' is rejected
+   everywhere: labeled children are interned under the encoded name
+   [base{k="v",...}], so the brace opens a namespace reserved for
+   them.  Validating at registration means a bad name fails at
+   [let]-time in the instrumented module, not at scrape time. *)
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' | '.' -> true
+  | _ -> false
+
+let is_name_start = function '0' .. '9' | '.' -> false | c -> is_name_char c
+
+let valid_metric_name s =
+  String.length s > 0 && is_name_start s.[0] && String.for_all is_name_char s
+
+let check_name fn s =
+  if not (valid_metric_name s) then
+    invalid_arg
+      (Printf.sprintf "Obs.%s: invalid metric name %S (want [a-zA-Z_:][a-zA-Z0-9_:.]*)" fn s)
+
+(* Label keys follow the strict Prometheus label grammar: no ':'
+   (reserved for recording rules) and no '.'. *)
+let is_label_char = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+
+let valid_label_key s =
+  String.length s > 0
+  && (match s.[0] with '0' .. '9' -> false | c -> is_label_char c)
+  && String.for_all is_label_char s
+
+let check_label_key fn s =
+  if not (valid_label_key s) then
+    invalid_arg (Printf.sprintf "Obs.%s: invalid label name %S (want [a-zA-Z_][a-zA-Z0-9_]*)" fn s)
+
 type counter = int
 type gauge = int
 type span = int
@@ -84,25 +121,114 @@ let h_cells : hist array ref = ref [||]
 
 let append cells v = cells := Array.append !cells [| v |]
 
+(* ----------------------------------------- labeled families: registry *)
+
+(* A metric vector is a family of plain cells keyed by a small label
+   set.  Each child is a regular entry in the flat registries above,
+   interned under the encoded name [base{k1="v1",k2="v2"}] (values
+   Prometheus-escaped at creation, keys in declaration order), so the
+   hot-path bump on a resolved child is the same single atomic op as
+   any plain metric and the 0-word Noop contract holds unchanged.
+   Because readbacks are name-sorted, the children of one family are
+   contiguous and in a deterministic byte order no matter which
+   domain resolved them first — exposition stays width-independent. *)
+
+type vec_kind = Vec_counter | Vec_gauge | Vec_histogram of float array
+
+type vec = {
+  v_name : string;
+  v_keys : string array;
+  v_kind : vec_kind;
+  v_max : int;
+  (* '\x00'-joined label values -> interned cell id: the O(1) lookup
+     that keeps re-resolution cheap and child ids stable *)
+  v_children : (string, int) Hashtbl.t;
+}
+
+type counter_vec = vec
+type gauge_vec = vec
+type histogram_vec = vec
+
+let vec_registry : vec list ref = ref []
+
+let find_vec name = List.find_opt (fun v -> String.equal v.v_name name) !vec_registry
+
+let same_vec_kind a b =
+  match (a, b) with
+  | Vec_counter, Vec_counter | Vec_gauge, Vec_gauge | Vec_histogram _, Vec_histogram _ -> true
+  | (Vec_counter | Vec_gauge | Vec_histogram _), _ -> false
+
+let vec_kind_label = function
+  | Vec_counter -> "counter"
+  | Vec_gauge -> "gauge"
+  | Vec_histogram _ -> "histogram"
+
+(* A plain metric and a same-kind family under one base name would
+   render into the same Prometheus family with inconsistent label
+   sets — reject the collision at registration, from both sides. *)
+let check_vec_collision fn kind name =
+  match find_vec name with
+  | Some v when same_vec_kind v.v_kind kind ->
+      invalid_arg
+        (Printf.sprintf "Obs.%s: %S is already a labeled %s family" fn name (vec_kind_label kind))
+  | Some _ | None -> ()
+
+(* unlocked cell interning, shared by plain registration and child
+   resolution (both already hold the registry lock) *)
+
+let counter_cell name =
+  match find_name !c_names name with
+  | Some id -> id
+  | None ->
+      append c_names name;
+      append c_cells (Atomic.make 0);
+      Array.length !c_names - 1
+
+let gauge_cell name =
+  match find_name !g_names name with
+  | Some id -> id
+  | None ->
+      append g_names name;
+      g_cells := Array.append !g_cells [| 0.0 |];
+      Array.length !g_names - 1
+
+let histogram_cell name buckets =
+  let names = Array.map (fun h -> h.h_name) !h_cells in
+  match find_name names name with
+  | Some id -> id
+  | None ->
+      append h_cells
+        {
+          h_name = name;
+          h_edges = Array.copy buckets;
+          h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0.0;
+        };
+      Array.length !h_cells - 1
+
+let check_buckets fn buckets =
+  if Array.length buckets = 0 then
+    invalid_arg (Printf.sprintf "Obs.%s: need at least one bucket edge" fn);
+  Array.iteri
+    (fun i e ->
+      if i > 0 && not (buckets.(i - 1) < e) then
+        invalid_arg (Printf.sprintf "Obs.%s: bucket edges must be strictly increasing" fn))
+    buckets
+
 let counter name =
+  check_name "counter" name;
   locked (fun () ->
-      match find_name !c_names name with
-      | Some id -> id
-      | None ->
-          append c_names name;
-          append c_cells (Atomic.make 0);
-          Array.length !c_names - 1)
+      check_vec_collision "counter" Vec_counter name;
+      counter_cell name)
 
 let gauge name =
+  check_name "gauge" name;
   locked (fun () ->
-      match find_name !g_names name with
-      | Some id -> id
-      | None ->
-          append g_names name;
-          g_cells := Array.append !g_cells [| 0.0 |];
-          Array.length !g_names - 1)
+      check_vec_collision "gauge" Vec_gauge name;
+      gauge_cell name)
 
 let span_name name =
+  check_name "span_name" name;
   locked (fun () ->
       match find_name !s_names name with
       | Some id -> id
@@ -112,25 +238,167 @@ let span_name name =
           Array.length !s_names - 1)
 
 let histogram name ~buckets =
-  if Array.length buckets = 0 then invalid_arg "Obs.histogram: need at least one bucket edge";
-  Array.iteri
-    (fun i e ->
-      if i > 0 && not (buckets.(i - 1) < e) then
-        invalid_arg "Obs.histogram: bucket edges must be strictly increasing")
-    buckets;
+  check_buckets "histogram" buckets;
+  check_name "histogram" name;
   locked (fun () ->
-      let names = Array.map (fun h -> h.h_name) !h_cells in
-      match find_name names name with
+      check_vec_collision "histogram" (Vec_histogram buckets) name;
+      histogram_cell name buckets)
+
+(* ---------------------------------------- labeled families: resolution *)
+
+(* Cardinality is bounded per family: past [max_children] every new
+   label-value combination collapses into the reserved all-["other"]
+   child and bumps [obs.label_overflow], so a family registered with
+   [max_children:k] owns at most [k + 1] cells, ever.  The overflow
+   counter is bumped unconditionally (not probe-gated): resolution is
+   registration-path work, and an overflow under [Noop] must still be
+   visible once a sink is installed. *)
+
+let default_max_children = 64
+
+let overflow_label = "other"
+
+let c_label_overflow = counter "obs.label_overflow"
+
+let escape_label_value b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
+let encode_child_name base keys values =
+  let b = Buffer.create (String.length base + 16) in
+  Buffer.add_string b base;
+  Buffer.add_char b '{';
+  Array.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b k;
+      Buffer.add_string b "=\"";
+      escape_label_value b values.(i);
+      Buffer.add_char b '"')
+    keys;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let same_keys a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i k -> if not (String.equal k b.(i)) then ok := false) a;
+  !ok
+
+let same_buckets a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i e -> if not (Float.equal e b.(i)) then ok := false) a;
+  !ok
+
+let make_vec fn kind ?(max_children = default_max_children) name ~labels =
+  check_name fn name;
+  if max_children < 1 then invalid_arg (Printf.sprintf "Obs.%s: max_children must be >= 1" fn);
+  if labels = [] then invalid_arg (Printf.sprintf "Obs.%s: need at least one label" fn);
+  List.iter (check_label_key fn) labels;
+  let keys = Array.of_list labels in
+  locked (fun () ->
+      match find_vec name with
+      | Some v ->
+          (* re-registration interns: same name + kind + keys (+ bucket
+             edges) returns the existing family, so child ids resolved
+             through either handle agree *)
+          let compatible =
+            same_vec_kind v.v_kind kind
+            && same_keys v.v_keys keys
+            &&
+            match (v.v_kind, kind) with
+            | Vec_histogram a, Vec_histogram b -> same_buckets a b
+            | _ -> true
+          in
+          if not compatible then
+            invalid_arg
+              (Printf.sprintf "Obs.%s: %S is already registered with a different kind or label set"
+                 fn name);
+          v
+      | None ->
+          let plain_names =
+            match kind with
+            | Vec_counter -> !c_names
+            | Vec_gauge -> !g_names
+            | Vec_histogram _ -> Array.map (fun h -> h.h_name) !h_cells
+          in
+          (match find_name plain_names name with
+          | Some _ ->
+              invalid_arg
+                (Printf.sprintf "Obs.%s: %S is already a plain %s" fn name (vec_kind_label kind))
+          | None -> ());
+          let v =
+            {
+              v_name = name;
+              v_keys = keys;
+              v_kind = kind;
+              v_max = max_children;
+              v_children = Hashtbl.create 16;
+            }
+          in
+          vec_registry := v :: !vec_registry;
+          v)
+
+let counter_vec ?max_children name ~labels = make_vec "counter_vec" Vec_counter ?max_children name ~labels
+
+let gauge_vec ?max_children name ~labels = make_vec "gauge_vec" Vec_gauge ?max_children name ~labels
+
+let histogram_vec ?max_children name ~labels ~buckets =
+  check_buckets "histogram_vec" buckets;
+  make_vec "histogram_vec" (Vec_histogram (Array.copy buckets)) ?max_children name ~labels
+
+let vec_cell v values_arr =
+  let name = encode_child_name v.v_name v.v_keys values_arr in
+  match v.v_kind with
+  | Vec_counter -> counter_cell name
+  | Vec_gauge -> gauge_cell name
+  | Vec_histogram buckets -> histogram_cell name buckets
+
+let resolve fn v values =
+  let nv = List.length values in
+  if nv <> Array.length v.v_keys then
+    invalid_arg
+      (Printf.sprintf "Obs.%s: family %S has %d label(s), got %d value(s)" fn v.v_name
+         (Array.length v.v_keys) nv);
+  locked (fun () ->
+      let key = String.concat "\x00" values in
+      match Hashtbl.find_opt v.v_children key with
       | Some id -> id
       | None ->
-          append h_cells
-            {
-              h_name = name;
-              h_edges = Array.copy buckets;
-              h_counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
-              h_sum = Atomic.make 0.0;
-            };
-          Array.length !h_cells - 1)
+          if Hashtbl.length v.v_children < v.v_max then begin
+            let id = vec_cell v (Array.of_list values) in
+            Hashtbl.add v.v_children key id;
+            id
+          end
+          else begin
+            Atomic.incr !c_cells.(c_label_overflow);
+            let other = Array.map (fun _ -> overflow_label) v.v_keys in
+            let other_key = String.concat "\x00" (Array.to_list other) in
+            match Hashtbl.find_opt v.v_children other_key with
+            | Some id -> id
+            | None ->
+                let id = vec_cell v other in
+                Hashtbl.add v.v_children other_key id;
+                id
+          end)
+
+let counter_child v values = resolve "counter_child" v values
+let gauge_child v values = resolve "gauge_child" v values
+let histogram_child v values = resolve "histogram_child" v values
+let counter_with_label v value = resolve "counter_with_label" v [ value ]
+let gauge_with_label v value = resolve "gauge_with_label" v [ value ]
+let histogram_with_label v value = resolve "histogram_with_label" v [ value ]
+
+let vec_cardinality v = locked (fun () -> Hashtbl.length v.v_children)
 
 (* ---------------------------------------------------------- event rings *)
 
@@ -383,10 +651,21 @@ let reset () =
 (* ------------------------------------------------------ parallel regions *)
 
 module Parallel = struct
+  (* Resolved per-task-index wait lanes, wrapped so callers can hold
+     them in a top-level [let] without exposing a module-level array
+     (sema S6/S7 classify bare global arrays as shared mutable
+     state).  The last slot is the shared overflow lane. *)
+  type wait_lanes = gauge array
+
+  let wait_lanes lanes =
+    if Array.length lanes = 0 then invalid_arg "Obs.Parallel.wait_lanes: need at least one lane";
+    Array.copy lanes
+
   type job = {
     j_span : span;
     j_task_span : span;
     j_wait_gauge : gauge;
+    j_task_wait : wait_lanes option;
     j_post_ns : int;
     j_bufs : buf array;
     j_rec : recorder;
@@ -398,7 +677,7 @@ module Parallel = struct
      oldest events and is counted, like the main ring. *)
   let task_capacity = 64
 
-  let job_begin ~span:sp ~task_span ~wait_gauge ~tasks =
+  let job_begin ~span:sp ~task_span ~wait_gauge ~task_wait ~tasks =
     if not state.recording then None
     else
       match state.current with
@@ -413,6 +692,7 @@ module Parallel = struct
               j_span = sp;
               j_task_span = task_span;
               j_wait_gauge = wait_gauge;
+              j_task_wait = task_wait;
               j_post_ns = Clock.now r.r_clock;
               j_bufs = bufs;
               j_rec = r;
@@ -423,7 +703,19 @@ module Parallel = struct
     let saved = Domain.DLS.get current_buf in
     Domain.DLS.set current_buf (Some b);
     let started = Clock.now b.b_clock in
-    put b tag_sample j.j_wait_gauge started (float_of_int (started - j.j_post_ns));
+    let wait = float_of_int (started - j.j_post_ns) in
+    put b tag_sample j.j_wait_gauge started wait;
+    (* per-task labeled lane: wait is recorded as a sample *event*
+       only — the child's gauge cell is never written, because the
+       cross-domain delta is width-dependent under the per-domain
+       tick clock and cells feed the byte-compared readbacks.  The
+       last array slot is the shared overflow lane for high task
+       indices. *)
+    (match j.j_task_wait with
+    | Some lanes ->
+        let k = if i < Array.length lanes - 1 then i else Array.length lanes - 1 in
+        put b tag_sample lanes.(k) started wait
+    | None -> ());
     put b tag_begin j.j_task_span started 0.0;
     let restore () =
       let ended = Clock.now b.b_clock in

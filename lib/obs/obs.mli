@@ -49,7 +49,73 @@ val histogram : string -> buckets:float array -> histogram
 (** [buckets] are upper bucket edges, strictly increasing; a value
     [v] lands in the first bucket with [v <= edge], or the implicit
     overflow bucket.
-    @raise Invalid_argument on empty or non-increasing edges. *)
+    @raise Invalid_argument on empty or non-increasing edges.
+
+    All registration functions validate names at [let]-time against
+    the grammar the Prometheus renderer and {!Prometheus.validate}
+    accept: names match [[a-zA-Z_:][a-zA-Z0-9_:.]*] ('.' is
+    namespacing, mapped to '_' at export; '{' is reserved for labeled
+    children), label names match [[a-zA-Z_][a-zA-Z0-9_]*].
+    @raise Invalid_argument on a bad metric or label name. *)
+
+(** {1 Labeled families}
+
+    A metric vector is a family of plain cells keyed by a small label
+    set ([item], [shard], [policy], ...).  Resolve a child {e once},
+    off the hot path — at registration, stream setup, or loop entry —
+    and bump the returned plain id in the loop: the bump is the same
+    single probe-gated atomic op as any flat metric, so the 0-word
+    Noop contract is unchanged (sema rule S5 flags [*_child] /
+    [*_with_label] calls inside [[@@hot]] bodies).
+
+    Cardinality is bounded per family: past [max_children] (default
+    64) every new label-value combination collapses into a reserved
+    all-["other"] child and bumps the [obs.label_overflow] counter —
+    a family registered with [max_children:k] never owns more than
+    [k + 1] children.  Children export through {!Prometheus} as
+    [base{k="v",...}] in deterministic sorted order and appear under
+    their encoded names in {!counter_totals} / {!gauge_values} /
+    {!histogram_dump} and {!Recorder} snapshots. *)
+
+type counter_vec
+type gauge_vec
+type histogram_vec
+
+val counter_vec : ?max_children:int -> string -> labels:string list -> counter_vec
+(** Register (or intern) a counter family keyed by [labels] (order
+    matters; at least one).  Re-registering with the same name, kind
+    and label set returns the same family — child ids stay stable.
+    @raise Invalid_argument on a bad name or label, [max_children <
+    1], an empty label set, a mismatched re-registration, or a name
+    already registered as a plain counter. *)
+
+val gauge_vec : ?max_children:int -> string -> labels:string list -> gauge_vec
+
+val histogram_vec :
+  ?max_children:int -> string -> labels:string list -> buckets:float array -> histogram_vec
+(** Every child shares [buckets] (validated like {!histogram}). *)
+
+val counter_child : counter_vec -> string list -> counter
+(** Resolve the child for one label-value combination ([O(1)] via a
+    hash-interning table, stable across calls and re-registration).
+    Label values may be any string — they are escaped at encoding
+    time.  Registration-path work: never call on a hot path.
+    @raise Invalid_argument when the value count does not match the
+    family's label count. *)
+
+val gauge_child : gauge_vec -> string list -> gauge
+val histogram_child : histogram_vec -> string list -> histogram
+
+val counter_with_label : counter_vec -> string -> counter
+(** [counter_with_label v x] is [counter_child v [x]] — the common
+    single-label case. *)
+
+val gauge_with_label : gauge_vec -> string -> gauge
+val histogram_with_label : histogram_vec -> string -> histogram
+
+val vec_cardinality : counter_vec -> int
+(** Number of children currently interned (including a materialized
+    ["other"] child) — at most [max_children + 1]. *)
 
 (** {1 Sinks} *)
 
@@ -177,10 +243,31 @@ val events_lost : recorder -> int
 module Parallel : sig
   type job
 
-  val job_begin : span:span -> task_span:span -> wait_gauge:gauge -> tasks:int -> job option
+  type wait_lanes
+  (** Per-task-index labeled wait gauges, resolved up front and
+      wrapped so callers can keep them in a top-level [let] without
+      exporting a bare mutable array.  The last slot is the shared
+      overflow lane for high task indices. *)
+
+  val wait_lanes : gauge array -> wait_lanes
+  (** Freeze a lane array (copied).
+      @raise Invalid_argument on an empty array. *)
+
+  val job_begin :
+    span:span ->
+    task_span:span ->
+    wait_gauge:gauge ->
+    task_wait:wait_lanes option ->
+    tasks:int ->
+    job option
   (** Open a job span on the submitting domain and preallocate one
       buffer per task.  [None] when not recording — callers keep the
-      uninstrumented fast path. *)
+      uninstrumented fast path.  With [task_wait], task [i]'s queue
+      wait is also recorded as a sample event on lane [i]'s child
+      (the last lane past the array).  Events only — the child's
+      gauge {e cell} is never written, because the cross-domain wait
+      delta is width-dependent under the per-domain tick clock and
+      cells feed the byte-compared readbacks. *)
 
   val task : job -> int -> (unit -> 'a) -> 'a
   (** [task j i f] runs task [i]'s body with its positional buffer

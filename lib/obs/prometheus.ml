@@ -53,6 +53,22 @@ let content_type = "text/plain; version=0.0.4"
 
 let ns_to_s ns = ns /. 1e9
 
+(* Registry names may be encoded labeled children, [base{k="v",...}]
+   (see Obs's labeled families): split at the brace and keep the
+   inner label text verbatim — values were Prometheus-escaped at
+   interning time.  Only the base gets the [metric_name] sanitizer,
+   and type suffixes ([_total], [_bucket], ...) are placed before the
+   label block.  Because readbacks are name-sorted and '{' cannot
+   appear in plain names, a family's children arrive contiguously and
+   in a deterministic order, so HELP/TYPE can be emitted once per
+   family by tracking the last family name. *)
+let split_labels name =
+  let n = String.length name in
+  match String.index_opt name '{' with
+  | Some i when n > i + 1 && Char.equal name.[n - 1] '}' ->
+      (String.sub name 0 i, Some (String.sub name (i + 1) (n - i - 2)))
+  | Some _ | None -> (name, None)
+
 let exposition () =
   let b = Buffer.create 4096 in
   let meta full typ orig =
@@ -67,51 +83,62 @@ let exposition () =
     Buffer.add_string b typ;
     Buffer.add_char b '\n'
   in
-  let sample name labels value =
+  let sample ?enc name labels value =
     Buffer.add_string b name;
-    (match labels with
-    | [] -> ()
-    | ls ->
+    (match (enc, labels) with
+    | None, [] -> ()
+    | _ ->
         Buffer.add_char b '{';
+        (match enc with Some inner -> Buffer.add_string b inner | None -> ());
         List.iteri
           (fun i (k, v) ->
-            if i > 0 then Buffer.add_char b ',';
+            if i > 0 || Option.is_some enc then Buffer.add_char b ',';
             Buffer.add_string b k;
             Buffer.add_string b "=\"";
             Buffer.add_string b (escape_label v);
             Buffer.add_char b '"')
-          ls;
+          labels;
         Buffer.add_char b '}');
     Buffer.add_char b ' ';
     Buffer.add_string b value;
     Buffer.add_char b '\n'
   in
+  let last_family = ref "" in
+  let family full typ base =
+    if not (String.equal full !last_family) then begin
+      meta full typ base;
+      last_family := full
+    end
+  in
   List.iter
     (fun (name, v) ->
-      let full = "dcache_" ^ metric_name name ^ "_total" in
-      meta full "counter" name;
-      sample full [] (string_of_int v))
+      let base, enc = split_labels name in
+      let full = "dcache_" ^ metric_name base ^ "_total" in
+      family full "counter" base;
+      sample ?enc full [] (string_of_int v))
     (Obs.counter_totals ());
   List.iter
     (fun (name, v) ->
-      let full = "dcache_" ^ metric_name name in
-      meta full "gauge" name;
-      sample full [] (fmt_float v))
+      let base, enc = split_labels name in
+      let full = "dcache_" ^ metric_name base in
+      family full "gauge" base;
+      sample ?enc full [] (fmt_float v))
     (Obs.gauge_values ());
   List.iter
     (fun (name, (edges, counts, sum)) ->
-      let full = "dcache_" ^ metric_name name in
-      meta full "histogram" name;
+      let base, enc = split_labels name in
+      let full = "dcache_" ^ metric_name base in
+      family full "histogram" base;
       let cumulative = ref 0 in
       Array.iteri
         (fun i e ->
           cumulative := !cumulative + counts.(i);
-          sample (full ^ "_bucket") [ ("le", fmt_float e) ] (string_of_int !cumulative))
+          sample ?enc (full ^ "_bucket") [ ("le", fmt_float e) ] (string_of_int !cumulative))
         edges;
       cumulative := !cumulative + counts.(Array.length edges);
-      sample (full ^ "_bucket") [ ("le", "+Inf") ] (string_of_int !cumulative);
-      sample (full ^ "_sum") [] (fmt_float sum);
-      sample (full ^ "_count") [] (string_of_int !cumulative))
+      sample ?enc (full ^ "_bucket") [ ("le", "+Inf") ] (string_of_int !cumulative);
+      sample ?enc (full ^ "_sum") [] (fmt_float sum);
+      sample ?enc (full ^ "_count") [] (string_of_int !cumulative))
     (Obs.histogram_dump ());
   (* span-duration summaries, in seconds; a span never entered
      reports NaN quantiles (the Prometheus convention for empty
@@ -153,6 +180,9 @@ let known_type t =
   | "counter" | "gauge" | "histogram" | "summary" | "untyped" -> true
   | _ -> false
 
+(* [parse_sample] returns the literal metric name and the label names
+   it carried, so [validate] can enforce family-level consistency on
+   top of the line-level grammar. *)
 let parse_sample line =
   let n = String.length line in
   let i = ref 0 in
@@ -161,14 +191,15 @@ let parse_sample line =
   done;
   if !i = 0 || not (is_name_start line.[0]) then Error "missing or malformed metric name"
   else
+    let name = String.sub line 0 !i in
     let labels_ok =
       if !i < n && Char.equal line.[!i] '{' then begin
         incr i;
-        let rec labels () =
+        let rec labels acc =
           if !i >= n then Error "unterminated label set"
           else if Char.equal line.[!i] '}' then begin
             incr i;
-            Ok ()
+            Ok (List.rev acc)
           end
           else begin
             let s0 = !i in
@@ -176,43 +207,48 @@ let parse_sample line =
               incr i
             done;
             if !i = s0 then Error "bad label name"
-            else if !i < n && Char.equal line.[!i] '=' then begin
-              incr i;
-              if !i < n && Char.equal line.[!i] '"' then begin
+            else begin
+              let key = String.sub line s0 (!i - s0) in
+              if List.exists (String.equal key) acc then
+                Error ("duplicate label name " ^ key)
+              else if !i < n && Char.equal line.[!i] '=' then begin
                 incr i;
-                let rec str () =
-                  if !i >= n then Error "unterminated label value"
-                  else if Char.equal line.[!i] '\\' then begin
-                    i := !i + 2;
-                    str ()
-                  end
-                  else if Char.equal line.[!i] '"' then begin
-                    incr i;
-                    Ok ()
-                  end
-                  else begin
-                    incr i;
-                    str ()
-                  end
-                in
-                match str () with
-                | Error _ as e -> e
-                | Ok () ->
-                    if !i < n && Char.equal line.[!i] ',' then incr i;
-                    labels ()
+                if !i < n && Char.equal line.[!i] '"' then begin
+                  incr i;
+                  let rec str () =
+                    if !i >= n then Error "unterminated label value"
+                    else if Char.equal line.[!i] '\\' then begin
+                      i := !i + 2;
+                      str ()
+                    end
+                    else if Char.equal line.[!i] '"' then begin
+                      incr i;
+                      Ok ()
+                    end
+                    else begin
+                      incr i;
+                      str ()
+                    end
+                  in
+                  match str () with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      if !i < n && Char.equal line.[!i] ',' then incr i;
+                      labels (key :: acc)
+                end
+                else Error "label value must be double-quoted"
               end
-              else Error "label value must be double-quoted"
+              else Error "expected '=' after label name"
             end
-            else Error "expected '=' after label name"
           end
         in
-        labels ()
+        labels []
       end
-      else Ok ()
+      else Ok []
     in
     match labels_ok with
-    | Error _ as e -> e
-    | Ok () ->
+    | Error e -> Error e
+    | Ok keys ->
         if !i < n && Char.equal line.[!i] ' ' then begin
           let rest = String.sub line (!i + 1) (n - !i - 1) in
           let fields =
@@ -220,7 +256,7 @@ let parse_sample line =
           in
           let value_ok v =
             match float_of_string_opt v with
-            | Some _ -> Ok ()
+            | Some _ -> Ok (name, keys)
             | None -> Error ("unparseable sample value " ^ v)
           in
           match fields with
@@ -228,9 +264,9 @@ let parse_sample line =
           | [ v; ts ] -> (
               match value_ok v with
               | Error _ as e -> e
-              | Ok () -> (
+              | Ok _ -> (
                   match int_of_string_opt ts with
-                  | Some _ -> Ok ()
+                  | Some _ -> Ok (name, keys)
                   | None -> Error ("unparseable timestamp " ^ ts)))
           | _ -> Error "expected 'name[{labels}] value [timestamp]'"
         end
@@ -251,6 +287,9 @@ let parse_comment line =
 
 let validate text =
   let lines = String.split_on_char '\n' text in
+  (* literal metric name -> sorted label-name set of its first sample;
+     every later sample of the same name must carry the same set *)
+  let families : (string, string list) Hashtbl.t = Hashtbl.create 64 in
   let rec go ln samples remaining =
     match remaining with
     | [] -> Ok samples
@@ -263,7 +302,17 @@ let validate text =
         end
         else begin
           match parse_sample line with
-          | Ok () -> go (ln + 1) (samples + 1) rest
+          | Ok (name, keys) -> (
+              let keys = List.sort String.compare keys in
+              match Hashtbl.find_opt families name with
+              | None ->
+                  Hashtbl.add families name keys;
+                  go (ln + 1) (samples + 1) rest
+              | Some prior ->
+                  if List.equal String.equal prior keys then go (ln + 1) (samples + 1) rest
+                  else
+                    Error
+                      (Printf.sprintf "line %d: inconsistent label set for metric %s" ln name))
           | Error e -> Error (Printf.sprintf "line %d: %s" ln e)
         end
   in

@@ -9,6 +9,12 @@
     [le] buckets, [_sum], [_count]), and span-duration histograms as
     summaries with p50/p90/p99/p999 [quantile] labels in seconds.
 
+    Labeled children (registry names encoded as [base{k="v",...}] by
+    {!Obs}'s metric vectors) render as labeled samples of the [base]
+    family — type suffixes before the label block, the family's
+    [# HELP]/[# TYPE] emitted once, children in the deterministic
+    name-sorted order the readbacks provide.
+
     The server is deliberately synchronous: {!poll} accepts and
     answers every pending connection on the caller's thread, so a
     long-run driver can interleave serving with its batch loop and
@@ -41,9 +47,12 @@ val content_type : string
 val validate : string -> (int, string) result
 (** Golden parser for the 0.0.4 text format: checks comment lines
     ([# HELP] / [# TYPE] with a known type), metric-name charset,
-    label syntax and float-parseable sample values.  Returns the
-    number of sample lines, or [Error] naming the first bad line —
-    used by the exposition tests and [make metrics-demo]. *)
+    label syntax and float-parseable sample values; additionally
+    rejects a duplicate label name within one sample's label set and
+    inconsistent label-name sets across the samples of one literal
+    metric name (family consistency).  Returns the number of sample
+    lines, or [Error] naming the first bad line — used by the
+    exposition tests and [make metrics-demo]. *)
 
 (** {1 HTTP endpoint} *)
 

@@ -139,6 +139,19 @@ let iter_rows t f =
     f ((t.start + k) mod t.cap)
   done
 
+(* column names must be JSON-escaped: labeled children carry literal
+   double quotes in their encoded names ([base{k="v"}]) *)
+let json_escape sb s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string sb "\\\""
+      | '\\' -> Buffer.add_string sb "\\\\"
+      | '\n' -> Buffer.add_string sb "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string sb (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char sb c)
+    s
+
 let to_json t =
   let b = Buffer.create 4096 in
   let str_array names =
@@ -148,7 +161,7 @@ let to_json t =
       (fun i n ->
         if i > 0 then Buffer.add_string sb ", ";
         Buffer.add_char sb '"';
-        Buffer.add_string sb n;
+        json_escape sb n;
         Buffer.add_char sb '"')
       names;
     Buffer.add_char sb ']';
@@ -220,17 +233,35 @@ let quantile_label q =
     "p" ^ String.sub body 2 (String.length body - 2)
   else body
 
+(* CSV-quote a header field when it needs it — labeled children carry
+   commas and double quotes in their encoded names.  Plain names pass
+   through untouched, keeping historical output byte-identical. *)
+let csv_field n =
+  if String.exists (fun c -> Char.equal c ',' || Char.equal c '"' || Char.equal c '\n') n then begin
+    let b = Buffer.create (String.length n + 8) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if Char.equal c '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      n;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else n
+
 let to_csv t =
   let b = Buffer.create 4096 in
   Buffer.add_string b "ts";
-  Array.iter (fun n -> Buffer.add_string b ("," ^ n)) t.cn;
-  Array.iter (fun n -> Buffer.add_string b ("," ^ n)) t.gn;
-  Array.iter (fun n -> Buffer.add_string b ("," ^ n ^ ".count," ^ n ^ ".sum")) t.hn;
+  Array.iter (fun n -> Buffer.add_string b ("," ^ csv_field n)) t.cn;
+  Array.iter (fun n -> Buffer.add_string b ("," ^ csv_field n)) t.gn;
+  Array.iter
+    (fun n -> Buffer.add_string b ("," ^ csv_field (n ^ ".count") ^ "," ^ csv_field (n ^ ".sum")))
+    t.hn;
   Array.iter
     (fun n ->
-      Buffer.add_string b ("," ^ n ^ ".count," ^ n ^ ".sum");
+      Buffer.add_string b ("," ^ csv_field (n ^ ".count") ^ "," ^ csv_field (n ^ ".sum"));
       Array.iter
-        (fun q -> Buffer.add_string b ("," ^ n ^ "." ^ quantile_label q))
+        (fun q -> Buffer.add_string b ("," ^ csv_field (n ^ "." ^ quantile_label q)))
         Prometheus.quantile_probes)
     t.sn;
   Buffer.add_char b '\n';

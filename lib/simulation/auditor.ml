@@ -20,13 +20,13 @@ type report = {
   run : Online_sc.run;
 }
 
-let create ?window_size ?bound ?epsilon ?witness_capacity ?epoch_size ?(inflate = 1.0) ?on_window
-    model ~m =
+let create ?window_size ?bound ?epsilon ?witness_capacity ?item ?epoch_size ?(inflate = 1.0)
+    ?on_window model ~m =
   if not (inflate > 0.0) then invalid_arg "Auditor.create: inflate must be positive";
   {
     inc = Online_sc.Incremental.create ?epoch_size model ~m;
     dp = Streaming_dp.create model ~m;
-    audit = Audit.create ?window_size ?bound ?epsilon ?witness_capacity ();
+    audit = Audit.create ?window_size ?bound ?epsilon ?witness_capacity ?item ();
     inflate;
     on_window;
   }

@@ -31,14 +31,17 @@ val create :
   ?bound:float ->
   ?epsilon:float ->
   ?witness_capacity:int ->
+  ?item:string ->
   ?epoch_size:int ->
   ?inflate:float ->
   ?on_window:(Audit.window -> unit) ->
   Dcache_core.Cost_model.t ->
   m:int ->
   t
-(** [window_size], [bound], [epsilon], [witness_capacity] go to
-    {!Audit.create}; [epoch_size] to [Online_sc.Incremental.create].
+(** [window_size], [bound], [epsilon], [witness_capacity] and [item]
+    (the stream's label in the per-item [audit.item_*] metric
+    families) go to {!Audit.create}; [epoch_size] to
+    [Online_sc.Incremental.create].
     [inflate] (default [1.0]) multiplies the online cost {e as
     reported to the auditor} — fault injection for exercising the
     bound monitor: the policy itself is untouched, so [~inflate:4.0]

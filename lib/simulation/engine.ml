@@ -10,6 +10,14 @@ let c_transfers = Obs.counter "engine.transfers"
 let c_uploads = Obs.counter "engine.uploads"
 let c_evictions = Obs.counter "engine.evictions"
 
+(* per-policy breakdown of the same totals, labeled by [P.name];
+   children resolve once per run (end-of-run accounting, not the
+   request loop), under distinct base names so the flat aggregates
+   above keep their own Prometheus families *)
+let v_policy_hits = Obs.counter_vec "engine.policy_cache_hits" ~labels:[ "policy" ]
+let v_policy_misses = Obs.counter_vec "engine.policy_cache_misses" ~labels:[ "policy" ]
+let v_policy_transfers = Obs.counter_vec "engine.policy_transfers" ~labels:[ "policy" ]
+
 type costs = {
   mu_of : int -> float;
   lambda_of : src:int -> dst:int -> float;
@@ -201,7 +209,10 @@ let run ?costs (module P : Policy.POLICY) model seq =
     Obs.add c_misses st.misses;
     Obs.add c_transfers st.num_transfers;
     Obs.add c_uploads st.num_uploads;
-    Obs.add c_evictions (List.length st.caches)
+    Obs.add c_evictions (List.length st.caches);
+    Obs.add (Obs.counter_with_label v_policy_hits P.name) st.hits;
+    Obs.add (Obs.counter_with_label v_policy_misses P.name) st.misses;
+    Obs.add (Obs.counter_with_label v_policy_transfers P.name) st.num_transfers
   end;
   let metrics =
     {

@@ -67,3 +67,33 @@ let hot_audit x =
 
 (* exemption: creating the auditor with the stream, outside hot code *)
 let startup_audit () = Audit.create ()
+
+(* S5 also covers labeled-child resolution: [counter_with_label] is a
+   lock-and-hash interning step, so a hot body re-resolving per call
+   pays the lookup the vec API exists to hoist. *)
+module Obs = struct
+  type counter = int ref
+  type counter_vec = { mutable children : counter list }
+
+  let counter_vec () = { children = [] }
+
+  let counter_with_label v _label =
+    let c = ref 0 in
+    v.children <- c :: v.children;
+    c
+
+  let incr c = Stdlib.incr c
+end
+
+let family = Obs.counter_vec ()
+
+let hot_resolve x =
+  let c = Obs.counter_with_label family "item" in
+  Obs.incr c;
+  x + !c
+[@@hot]
+
+(* exemption: resolving once outside hot code and bumping the plain
+   cell in the hot body is the sanctioned loop-entry pattern *)
+let resolved = Obs.counter_with_label family "item"
+let hot_bump x = Obs.incr resolved; x + !resolved [@@hot]

@@ -342,6 +342,162 @@ let prometheus_exposition () =
       | Error _ -> ())
     [ "dcache_bad{le=} 1\n"; "# TYPE x nonsense\n"; "9starts_with_digit 1\n"; "no_value\n" ]
 
+(* ------------------------------------------------ labeled families *)
+
+let labeled_families () =
+  with_recording @@ fun _r ->
+  (* child identity: re-registering the family and re-resolving the
+     same label lands on the same cell, whichever handle or resolver
+     is used *)
+  let v = Obs.counter_vec "test.obs.family_clicks" ~labels:[ "item" ] in
+  let a = Obs.counter_with_label v "a" in
+  let v' = Obs.counter_vec "test.obs.family_clicks" ~labels:[ "item" ] in
+  let a' = Obs.counter_child v' [ "a" ] in
+  Obs.incr a;
+  Obs.add a' 4;
+  Alcotest.(check int) "child stable across re-registration" 5 (Obs.counter_value a);
+  Alcotest.(check int) "one child interned" 1 (Obs.vec_cardinality v);
+  (* multi-label children are positional in declaration order *)
+  let gv = Obs.gauge_vec "test.obs.family_depth" ~labels:[ "item"; "shard" ] in
+  let g = Obs.gauge_child gv [ "a"; "0" ] in
+  Obs.set_gauge g 2.5;
+  check_float "gauge child readback" 2.5 (Obs.gauge_value g);
+  let hv = Obs.histogram_vec "test.obs.family_sizes" ~labels:[ "item" ] ~buckets:[| 1.0; 2.0 |] in
+  let h = Obs.histogram_with_label hv "a" in
+  let h' = Obs.histogram_child hv [ "a" ] in
+  Obs.observe h 1.5;
+  Obs.observe h' 9.0;
+  Alcotest.(check (array int)) "histogram child counts through both handles" [| 0; 1; 1 |]
+    (Obs.histogram_counts h);
+  (* encoded children render as real Prometheus labels and the scrape
+     still passes the golden 0.0.4 parser *)
+  let text = Prom.exposition () in
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " in exposition") true (contains needle text))
+    [
+      "dcache_test_obs_family_clicks_total{item=\"a\"} 5";
+      "dcache_test_obs_family_depth{item=\"a\",shard=\"0\"} 2.5";
+      "dcache_test_obs_family_sizes_bucket{item=\"a\",le=\"+Inf\"} 2";
+      "dcache_test_obs_family_sizes_count{item=\"a\"} 2";
+    ];
+  match Prom.validate text with
+  | Ok n -> Alcotest.(check bool) "labeled exposition validates" true (n > 0)
+  | Error e -> Alcotest.failf "labeled exposition invalid: %s" e
+
+let labeled_invalid_registrations () =
+  let bad f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "space in metric name rejected" true
+    (bad (fun () -> Obs.counter "bad name"));
+  Alcotest.(check bool) "reserved '{' in metric name rejected" true
+    (bad (fun () -> Obs.counter "bad{name"));
+  Alcotest.(check bool) "digit-leading family name rejected" true
+    (bad (fun () -> Obs.counter_vec "0bad" ~labels:[ "item" ]));
+  Alcotest.(check bool) "digit-leading label key rejected" true
+    (bad (fun () -> Obs.counter_vec "test.obs.badkey" ~labels:[ "0item" ]));
+  Alcotest.(check bool) "dotted label key rejected" true
+    (bad (fun () -> Obs.counter_vec "test.obs.badkey2" ~labels:[ "it.em" ]));
+  Alcotest.(check bool) "empty label set rejected" true
+    (bad (fun () -> Obs.counter_vec "test.obs.nolabels" ~labels:[]));
+  Alcotest.(check bool) "max_children < 1 rejected" true
+    (bad (fun () -> Obs.counter_vec "test.obs.nomax" ~labels:[ "item" ] ~max_children:0));
+  (* one base name, one shape: kind, keys and buckets must agree *)
+  ignore (Obs.counter_vec "test.obs.vkind" ~labels:[ "item" ]);
+  Alcotest.(check bool) "kind mismatch on re-registration rejected" true
+    (bad (fun () -> Obs.gauge_vec "test.obs.vkind" ~labels:[ "item" ]));
+  Alcotest.(check bool) "label-set mismatch on re-registration rejected" true
+    (bad (fun () -> Obs.counter_vec "test.obs.vkind" ~labels:[ "shard" ]));
+  ignore (Obs.histogram_vec "test.obs.vbuckets" ~labels:[ "item" ] ~buckets:[| 1.0; 2.0 |]);
+  Alcotest.(check bool) "bucket mismatch on re-registration rejected" true
+    (bad (fun () -> Obs.histogram_vec "test.obs.vbuckets" ~labels:[ "item" ] ~buckets:[| 1.0 |]));
+  (* plain metric and same-kind family cannot share a base name, from
+     either registration order *)
+  ignore (Obs.counter "test.obs.vplain");
+  Alcotest.(check bool) "family over an existing plain counter rejected" true
+    (bad (fun () -> Obs.counter_vec "test.obs.vplain" ~labels:[ "item" ]));
+  ignore (Obs.counter_vec "test.obs.vfam" ~labels:[ "item" ]);
+  Alcotest.(check bool) "plain counter over an existing family rejected" true
+    (bad (fun () -> Obs.counter "test.obs.vfam"));
+  (* resolution arity is the declared key count *)
+  let v = Obs.counter_vec "test.obs.varity" ~labels:[ "item" ] in
+  Alcotest.(check bool) "resolve arity mismatch rejected" true
+    (bad (fun () -> Obs.counter_child v [ "a"; "b" ]))
+
+let labeled_overflow_bounded () =
+  with_recording @@ fun _r ->
+  let ovf () = Obs.counter_value (Obs.counter "obs.label_overflow") in
+  let ovf0 = ovf () in
+  let v = Obs.counter_vec "test.obs.ovf" ~labels:[ "item" ] ~max_children:3 in
+  let children = List.init 10 (fun i -> Obs.counter_with_label v (Printf.sprintf "i%d" i)) in
+  List.iter Obs.incr children;
+  (* 3 genuine children plus the reserved catch-all, never more *)
+  Alcotest.(check int) "cardinality capped at k+1" 4 (Obs.vec_cardinality v);
+  Alcotest.(check int) "each over-cap resolution counted" 7 (ovf () - ovf0);
+  (* the 7 collapsed labels all landed on the same reserved cell *)
+  let other = Obs.counter_with_label v "other" in
+  Alcotest.(check int) "collapsed bumps accumulate in \"other\"" 7 (Obs.counter_value other);
+  Alcotest.(check int) "re-resolving \"other\" is not an overflow" 7 (ovf () - ovf0);
+  (* genuine children are untouched by the collapse *)
+  Alcotest.(check int) "genuine child keeps its own count" 1
+    (Obs.counter_value (List.nth children 0));
+  (* the overflow counter is scrapeable like any other *)
+  Alcotest.(check bool) "obs.label_overflow in exposition" true
+    (contains "dcache_obs_label_overflow_total" (Prom.exposition ()))
+
+(* Same contract as the unlabeled trace/timeline checks, for labeled
+   children: pre-resolved children bumped from pool tasks are plain
+   atomic cells, so the whole /metrics exposition — labeled samples
+   included — is byte-identical at pool widths 1 and 4 under virtual
+   clocks. *)
+let labeled_sweep pool =
+  Obs.reset ();
+  let r = Obs.recorder ~clock:(Clock.ticks ()) () in
+  Obs.set_sink (Obs.Recording r);
+  Fun.protect
+    ~finally:(fun () -> Obs.set_sink Obs.Noop)
+    (fun () ->
+      let v = Obs.counter_vec "test.obs.shard_hits" ~labels:[ "shard" ] in
+      let shards = Array.init 4 (fun s -> Obs.counter_with_label v (string_of_int s)) in
+      let _ =
+        Pool.parallel_init pool 32 (fun i ->
+            Obs.add shards.(i mod 4) (i + 1);
+            0.0)
+      in
+      Prom.exposition ())
+
+let labeled_exposition_width_independent () =
+  let e1 = labeled_sweep pool1 in
+  let e4 = labeled_sweep pool4 in
+  Obs.reset ();
+  Alcotest.(check string) "labeled exposition byte-identical at widths 1 and 4" e1 e4;
+  Alcotest.(check bool) "labeled children in the scrape" true
+    (contains "dcache_test_obs_shard_hits_total{shard=\"0\"}" e1);
+  match Prom.validate e1 with
+  | Ok n -> Alcotest.(check bool) "labeled scrape validates" true (n > 0)
+  | Error e -> Alcotest.failf "labeled exposition invalid: %s" e
+
+(* the tightened validator: per-sample duplicate label keys and
+   per-family label-set drift are rejected, consistent labeled
+   families pass *)
+let validate_label_discipline () =
+  (match Prom.validate "x_total{a=\"1\"} 1\nx_total{a=\"2\"} 2\n" with
+  | Ok n -> Alcotest.(check int) "consistent labeled samples accepted" 2 n
+  | Error e -> Alcotest.failf "consistent labels rejected: %s" e);
+  List.iter
+    (fun bad ->
+      match Prom.validate bad with
+      | Ok _ -> Alcotest.failf "accepted malformed exposition %S" bad
+      | Error _ -> ())
+    [
+      "x_total{a=\"1\",a=\"2\"} 1\n";
+      "x_total{a=\"1\"} 1\nx_total{b=\"2\"} 2\n";
+      "x_total{a=\"1\"} 1\nx_total 2\n";
+    ]
+
 (* ----------------------------------------------- flight recorder *)
 
 let flight_recorder_ring () =
@@ -526,6 +682,11 @@ let suite =
     case "obs: log-histogram merge is associative" log_histo_merge;
     case "obs: log-histogram recording across pool tasks" log_histo_across_pool_tasks;
     case "obs: Prometheus exposition golden" prometheus_exposition;
+    case "obs: labeled children resolve, intern and render" labeled_families;
+    case "obs: labeled registration rejects bad shapes" labeled_invalid_registrations;
+    case "obs: labeled cardinality bounded with overflow accounting" labeled_overflow_bounded;
+    case "obs: labeled exposition is width-independent" labeled_exposition_width_independent;
+    case "obs: validator enforces label discipline" validate_label_discipline;
     case "obs: flight-recorder ring and gating" flight_recorder_ring;
     case "obs: timeline export is width-independent" timeline_is_width_independent;
     case "obs: injected events land in the trace" injected_events_in_trace;

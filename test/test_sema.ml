@@ -113,13 +113,15 @@ let test_rules_fire () =
   check_one "S1 body-level Array.copy" "S1" "lib/core/s1_hot_copy.ml" 6 findings;
   check_one "S2 undocumented raise" "S2" "lib/core/s2_violation.mli" 3 findings;
   check_one "S4 bare float fold" "S4" "lib/core/s4_violation.ml" 6 findings;
-  (* the hot-body sink construction and the three setup-cost calls
-     (Recorder.create, Prometheus.listen, Audit.create) fire; the
-     startup-pattern uses, the accessor calls (Recorder.tick,
-     Prometheus.port, Audit.observe) and the non-sink Recording
-     constructor in the same fixture stay clean *)
+  (* the hot-body sink construction, the three setup-cost calls
+     (Recorder.create, Prometheus.listen, Audit.create) and the
+     hot-body labeled-child resolution (Obs.counter_with_label) fire;
+     the startup-pattern uses, the accessor calls (Recorder.tick,
+     Prometheus.port, Audit.observe), the non-sink Recording
+     constructor and the resolve-once-bump-hot pattern in the same
+     fixture stay clean *)
   Alcotest.(check (list int))
-    "S5 lines: sink construction + ring + endpoint + auditor" [ 8; 40; 45; 63 ]
+    "S5 lines: sink construction + ring + endpoint + auditor + resolve" [ 8; 40; 45; 63; 91 ]
     (List.sort compare (List.map (fun f -> f.F.line) (find "S5" "lib/core/s5_hot_obs.ml" findings)))
 
 let test_s3_liveness () =
@@ -313,7 +315,7 @@ let test_stats_populated () =
 (* version pins: forgetting to bump either stamp when rule semantics
    change is the cache-staleness failure mode — fail loudly here *)
 let test_version_pins () =
-  Alcotest.(check string) "analyzer version" "9" Sema_rules.analyzer_version;
+  Alcotest.(check string) "analyzer version" "10" Sema_rules.analyzer_version;
   Alcotest.(check int) "cache format version" 5 Sema_cache.version
 
 (* witness chains surface in SARIF as codeFlows/relatedLocations and

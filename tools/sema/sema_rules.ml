@@ -18,7 +18,7 @@ module F = Report_finding
    every unit digest, so a rules update invalidates the incremental
    cache wholesale and stale cached analyses cannot mask new
    findings. *)
-let analyzer_version = "9"
+let analyzer_version = "10"
 
 let catalog =
   [
@@ -34,8 +34,9 @@ let catalog =
     ("S3", "dead export: .mli value never referenced outside its own library");
     ("S4", "numeric stability: float cost accumulator folded with bare +. in a loop");
     ( "S5",
-      "observability discipline: a Recording sink constructed, or a Recorder ring / Prometheus \
-       endpoint / Audit state created, inside a [@@hot] body" );
+      "observability discipline: a Recording sink constructed, a Recorder ring / Prometheus \
+       endpoint / Audit state created, or a labeled metric child resolved \
+       (Obs.*_with_label/*_child), inside a [@@hot] body" );
     ( "S6",
       "generator purity: a lib/workload generator must be a deterministic function of \
        (seed, spec), transitively through its callees" );
@@ -256,6 +257,18 @@ let s5_setup_call = function
   | ("Recorder", "create") | ("Prometheus", "listen") | ("Audit", "create") -> true
   | _ -> false
 
+(* Child resolution on a labeled family is a hash-interning step under
+   the registry lock; a hot body doing it per call is paying the
+   lookup the vec API exists to hoist.  Matched like [s5_setup_call]:
+   the last two components of the resolved path, so a local [Obs] shim
+   in fixtures keys the same as [Dcache_obs.Obs]. *)
+let s5_resolve_call = function
+  | ( "Obs",
+      ( "counter_with_label" | "gauge_with_label" | "histogram_with_label" | "counter_child"
+      | "gauge_child" | "histogram_child" ) ) ->
+      true
+  | _ -> false
+
 let is_sink_type ty =
   match Types.get_desc ty with
   | Types.Tconstr (p, _, _) -> Path.last p = "sink"
@@ -278,6 +291,13 @@ let scan_s5_hot_body ~path ~fname add body =
                       fname))
           | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) -> (
               match use_of_path p with
+              | Some ((m, v) as key) when s5_resolve_call key ->
+                  add
+                    (F.make ~path ~loc:e.exp_loc ~rule:"S5"
+                       (Printf.sprintf
+                          "`%s.%s` called in the body of hot `%s`: labeled-child resolution is a \
+                           lock-and-hash interning step — resolve at registration or loop entry \
+                           and let the hot path bump the plain cell" m v fname))
               | Some ((m, v) as key) when s5_setup_call key ->
                   add
                     (F.make ~path ~loc:e.exp_loc ~rule:"S5"
